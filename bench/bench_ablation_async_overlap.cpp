@@ -1,0 +1,60 @@
+// Ablation for Sec. 5.4.3: asynchronous compute/communication overlap in
+// the blocked Chebyshev filter. Real per-block compute times are measured
+// from the CF kernels; per-block exchange times come from the byte-accurate
+// dd layer + interconnect model; the sync and overlapped schedules are
+// played through the pipeline simulator for a sweep of block sizes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dd/exchange.hpp"
+#include "dd/pipeline.hpp"
+#include "ks/chfes.hpp"
+#include "ks/hamiltonian.hpp"
+
+using namespace dftfe;
+
+int main() {
+  bench::print_preamble("Ablation (Sec. 5.4.3): async compute/comm overlap in blocked CF");
+
+  const fe::Mesh mesh = fe::make_uniform_mesh(12.0, 3, true);
+  fe::DofHandler dofh(mesh, 5);
+  ks::Hamiltonian<double> H(dofh);
+  std::vector<double> v(dofh.ndofs(), -0.3);
+  H.set_potential(v);
+  const index_t N = 192;
+  const int degree = 8;
+  dd::SlabPartition part(dofh, 16);
+  dd::CommModel net;
+  net.bandwidth_bytes_per_s = 5e9;  // congested-network regime: comm visible
+
+  TextTable t({"B_f", "blocks", "sync (s)", "overlap (s)", "hidden comm"});
+  for (index_t bf : {16, 32, 64, 96, 192}) {
+    ks::ChfesOptions opt;
+    opt.block_size = bf;
+    opt.cheb_degree = degree;
+    ks::ChebyshevFilteredSolver<double> s(H, N, opt);
+    s.initialize_random(9);
+    s.cycle();
+    const auto& timings = s.cf_block_timings();
+    // Per-block exchange time: 2 interface faces per apply, `degree` applies.
+    const index_t bytes = 2 * part.plane_size() * bf * 4 * 2;  // FP32 wire
+    std::vector<dd::BlockTiming> blocks;
+    for (const auto& bt : timings)
+      blocks.push_back({bt.compute, degree * net.time(bytes, 4)});
+    const double sync = dd::simulate_sync(blocks);
+    const double overlap = dd::simulate_overlap(blocks);
+    double comm_total = 0.0;
+    for (auto& b : blocks) comm_total += b.comm;
+    t.add(bf, blocks.size(), TextTable::num(sync, 4), TextTable::num(overlap, 4),
+          TextTable::num(100.0 * (sync - overlap) / std::max(comm_total, 1e-12), 1) + "%");
+  }
+  t.print();
+  std::printf("with several blocks in flight, nearly all exchange time hides behind\n"
+              "the next block's compute (only the last block's exchange is exposed);\n"
+              "with a single block (B_f = N) there is nothing to overlap — exactly\n"
+              "why the paper pipelines the filter over wavefunction blocks.\n");
+  ProfileRegistry::global().clear();
+  FlopCounter::global().clear();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation for Sec. 5.3.1: the inverse-diagonal preconditioner of the
+// adjoint block-MINRES solve. The paper reports ~5x fewer MINRES iterations.
+// The effect lives on *adaptive* meshes, where the discrete Laplacian's
+// diagonal varies strongly with cell size — measured here by sweeping the
+// mesh grading ratio on a genuine inverse-DFT adjoint solve.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "invdft/invert3d.hpp"
+
+using namespace dftfe;
+
+namespace {
+
+std::pair<std::int64_t, std::int64_t> adjoint_iterations(double h_coarse) {
+  const double L = 9.0;
+  const fe::Axis ax = fe::make_graded_axis(L, L / 2, 1.5, 0.8, h_coarse);
+  const fe::Mesh mesh(ax, ax, ax);
+  fe::DofHandler dofh(mesh, 3);
+  const index_t n = dofh.ndofs();
+  std::vector<double> v_fixed(n), vxc_true(n);
+  for (index_t g = 0; g < n; ++g) {
+    const auto p = dofh.dof_point(g);
+    const double r2 = (p[0] - L / 2) * (p[0] - L / 2) + (p[1] - L / 2) * (p[1] - L / 2) +
+                      (p[2] - L / 2) * (p[2] - L / 2);
+    v_fixed[g] = 0.5 * r2;
+    vxc_true[g] = -0.5 * std::exp(-r2 / 3.0);
+  }
+  ks::Hamiltonian<double> H(dofh);
+  std::vector<double> vtot(n);
+  for (index_t g = 0; g < n; ++g) vtot[g] = v_fixed[g] + vxc_true[g];
+  H.set_potential(vtot);
+  ks::ChebyshevFilteredSolver<double> solver(H, 3);
+  solver.initialize_random(19);
+  for (int c = 0; c < 10; ++c) solver.cycle();
+  std::vector<double> rho_t(n, 0.0);
+  const auto& mass = dofh.mass();
+  for (index_t g = 0; g < n; ++g)
+    rho_t[g] = 2.0 * solver.subspace()(g, 0) * solver.subspace()(g, 0) / mass[g];
+
+  invdft::Invert3DOptions with, without;
+  with.max_iterations = without.max_iterations = 5;
+  without.use_preconditioner = false;
+  const auto a = invdft::invert_fe_3d(dofh, v_fixed, rho_t, 1, {}, with);
+  const auto b = invdft::invert_fe_3d(dofh, v_fixed, rho_t, 1, {}, without);
+  return {a.adjoint_minres_iterations, b.adjoint_minres_iterations};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "Ablation (Sec. 5.3.1): inverse-diagonal preconditioner of the adjoint\n"
+      "block-MINRES solve vs mesh grading (cell-size ratio)");
+
+  TextTable t({"grading h_fine:h_coarse", "MINRES its (precond)", "MINRES its (none)",
+               "reduction"});
+  for (double hc : {0.8, 1.6, 3.0}) {
+    const auto [with, without] = adjoint_iterations(hc);
+    char grading[32];
+    std::snprintf(grading, sizeof grading, "0.8 : %.1f", hc);
+    t.add(grading, with, without, TextTable::num(double(without) / with, 2) + "x");
+  }
+  t.print();
+  std::printf("paper: ~5x fewer iterations on its adaptive all-electron meshes. Shape\n"
+              "target: the reduction factor grows with the cell-size contrast (on a\n"
+              "uniform mesh the diagonal is flat and Jacobi has nothing to correct).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Mg <c+a> dislocation / solute interaction — the paper's second science
+// application (Sec. 6.2, DislocMgY): a pyramidal-II screw dislocation in Mg
+// interacting with an yttrium solute. Cells are laptop-sized (the paper uses
+// 6,016 atoms on Frontier); the Y valence is scaled (11 -> 3) to keep the
+// electron count small while preserving the solute contrast. The k-point
+// sampled (complex Hamiltonian) path along the dislocation line mirrors the
+// paper's 2 k-point setup.
+
+#include <cstdio>
+
+#include "atoms/defects.hpp"
+#include "atoms/lattice.hpp"
+#include "base/table.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace dftfe;
+  const double a = 6.06, c = 9.84;  // Mg lattice (Bohr)
+
+  core::SimulationOptions opt;
+  opt.functional = "LDA";
+  opt.fe_degree = 3;
+  opt.mesh_size = 2.5;
+  opt.z_override = {{atoms::Species::Y, 3.0}};
+  opt.scf.temperature = 0.01;
+  opt.scf.max_iterations = 35;
+  opt.scf.density_tol = 2e-6;
+  // 2 k-points along the (periodic) dislocation line, like the paper.
+  opt.kpoints = {{{0.0, 0.0, 0.0}, 1.0}, {{0.0, 0.0, kPi / c}, 1.0}};
+
+  auto run_case = [&](const char* name, bool disloc, bool solute, TextTable& t) {
+    atoms::Structure st = atoms::make_hcp(atoms::Species::Mg, a, c, 2, 1, 1);
+    if (solute) st.atoms[0].species = atoms::Species::Y;
+    if (disloc)
+      atoms::apply_screw_dipole(st, c, {st.box[0] * 0.25, st.box[1] * 0.5},
+                                {st.box[0] * 0.75, st.box[1] * 0.5});
+    core::Simulation sim(std::move(st), opt);
+    const auto res = sim.run();
+    t.add(name, sim.structure().natoms(), sim.n_electrons(),
+          TextTable::num(res.energy, 5), res.scf.converged ? "yes" : "no");
+    return res.energy;
+  };
+
+  std::printf("== Mg screw-dislocation / Y-solute interaction (periodic supercell) ==\n");
+  TextTable t({"system", "atoms", "e-", "E total (Ha)", "conv"});
+  const double e0 = run_case("pristine Mg", false, false, t);
+  const double ed = run_case("Mg + screw dipole", true, false, t);
+  const double es = run_case("Mg + Y solute", false, true, t);
+  const double eds = run_case("Mg + dipole + Y solute", true, true, t);
+  t.print();
+
+  const double e_disloc = ed - e0;
+  const double e_interaction = (eds - e0) - (ed - e0) - (es - e0);
+  std::printf("dislocation-dipole formation energy: %+.5f Ha\n", e_disloc);
+  std::printf("dislocation-solute interaction energy: %+.5f Ha\n", e_interaction);
+  std::printf("(negative interaction = solute attracted to the core, the basis of\n"
+              " solute strengthening/softening the paper's Mg-Y study quantifies)\n");
+  return 0;
+}

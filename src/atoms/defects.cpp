@@ -1,0 +1,65 @@
+#include "atoms/defects.hpp"
+
+#include <cmath>
+
+namespace dftfe::atoms {
+
+double screw_displacement_uz(double x, double y, double x0, double y0, double bz) {
+  return bz * std::atan2(y - y0, x - x0) / (2.0 * kPi);
+}
+
+void apply_screw_dipole(Structure& st, double bz, const std::array<double, 2>& c1,
+                        const std::array<double, 2>& c2) {
+  for (auto& a : st.atoms) {
+    const double u = screw_displacement_uz(a.pos[0], a.pos[1], c1[0], c1[1], bz) -
+                     screw_displacement_uz(a.pos[0], a.pos[1], c2[0], c2[1], bz);
+    a.pos[2] += u;
+    // Wrap back into the periodic cell along the line direction.
+    if (st.periodic[2] && st.box[2] > 0.0)
+      a.pos[2] -= st.box[2] * std::floor(a.pos[2] / st.box[2]);
+  }
+}
+
+double burgers_circuit(double x0, double y0, double bz, double loop_radius, int npts) {
+  double total = 0.0;
+  double prev = screw_displacement_uz(x0 + loop_radius, y0, x0, y0, bz);
+  for (int k = 1; k <= npts; ++k) {
+    const double th = 2.0 * kPi * k / npts;
+    const double u = screw_displacement_uz(x0 + loop_radius * std::cos(th),
+                                           y0 + loop_radius * std::sin(th), x0, y0, bz);
+    double du = u - prev;
+    // Unwrap the branch cut of atan2.
+    if (du > bz / 2) du -= bz;
+    if (du < -bz / 2) du += bz;
+    total += du;
+    prev = u;
+  }
+  return total;
+}
+
+Structure make_reflection_twin(const Structure& parent, double x_plane, double merge_tol) {
+  Structure st;
+  st.box = parent.box;
+  st.periodic = parent.periodic;
+  // Parent half.
+  for (const auto& a : parent.atoms)
+    if (a.pos[0] < x_plane) st.atoms.push_back(a);
+  // Mirrored half, merged at the composition plane.
+  for (const auto& a : parent.atoms) {
+    const double xm = 2.0 * x_plane - a.pos[0];
+    if (xm < x_plane || xm > parent.box[0]) continue;
+    bool duplicate = false;
+    for (const auto& b : st.atoms) {
+      const double dx = b.pos[0] - xm, dy = b.pos[1] - a.pos[1], dz = b.pos[2] - a.pos[2];
+      if (dx * dx + dy * dy + dz * dz < merge_tol * merge_tol) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) st.atoms.push_back({a.species, {xm, a.pos[1], a.pos[2]}});
+  }
+  st.periodic[0] = false;  // the twinned slab is not x-periodic
+  return st;
+}
+
+}  // namespace dftfe::atoms

@@ -1,0 +1,50 @@
+#include "atoms/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dftfe::atoms {
+
+void write_xyz(const Structure& st, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_xyz: cannot open " + path);
+  os.precision(12);
+  os << st.natoms() << '\n';
+  os << "box " << st.box[0] << ' ' << st.box[1] << ' ' << st.box[2] << " periodic "
+     << st.periodic[0] << ' ' << st.periodic[1] << ' ' << st.periodic[2] << '\n';
+  for (const auto& a : st.atoms)
+    os << species_info(a.species).name << ' ' << a.pos[0] << ' ' << a.pos[1] << ' '
+       << a.pos[2] << '\n';
+}
+
+Structure read_xyz(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_xyz: cannot open " + path);
+  index_t n = 0;
+  is >> n;
+  Structure st;
+  std::string tag;
+  is >> tag >> st.box[0] >> st.box[1] >> st.box[2];
+  if (tag != "box") throw std::runtime_error("read_xyz: malformed comment line");
+  is >> tag >> st.periodic[0] >> st.periodic[1] >> st.periodic[2];
+  static const std::map<std::string, Species> names{{"Mg", Species::Mg},
+                                                    {"Y", Species::Y},
+                                                    {"Yb", Species::Yb},
+                                                    {"Cd", Species::Cd},
+                                                    {"X", Species::X}};
+  for (index_t i = 0; i < n; ++i) {
+    std::string name;
+    Atom a;
+    is >> name >> a.pos[0] >> a.pos[1] >> a.pos[2];
+    auto it = names.find(name);
+    if (it == names.end()) throw std::runtime_error("read_xyz: unknown species " + name);
+    a.species = it->second;
+    st.atoms.push_back(a);
+  }
+  if (!is) throw std::runtime_error("read_xyz: truncated file " + path);
+  return st;
+}
+
+}  // namespace dftfe::atoms

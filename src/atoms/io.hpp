@@ -1,0 +1,18 @@
+#pragma once
+
+// XYZ-format structure I/O (positions stored in Bohr; the comment line
+// carries the box and periodicity so files round-trip losslessly).
+
+#include <string>
+
+#include "atoms/structure.hpp"
+
+namespace dftfe::atoms {
+
+/// Write a structure as extended XYZ.
+void write_xyz(const Structure& st, const std::string& path);
+
+/// Read a structure written by write_xyz.
+Structure read_xyz(const std::string& path);
+
+}  // namespace dftfe::atoms

@@ -1,0 +1,62 @@
+#include "atoms/lattice.hpp"
+
+#include <cmath>
+
+#include "base/rng.hpp"
+
+namespace dftfe::atoms {
+
+namespace {
+
+Structure from_basis(Species s, const std::array<double, 3>& cell,
+                     const std::vector<std::array<double, 3>>& frac, index_t nx, index_t ny,
+                     index_t nz) {
+  Structure st;
+  st.box = {cell[0] * nx, cell[1] * ny, cell[2] * nz};
+  st.periodic = {true, true, true};
+  st.atoms.reserve(static_cast<std::size_t>(nx * ny * nz * frac.size()));
+  for (index_t iz = 0; iz < nz; ++iz)
+    for (index_t iy = 0; iy < ny; ++iy)
+      for (index_t ix = 0; ix < nx; ++ix)
+        for (const auto& f : frac)
+          st.atoms.push_back({s,
+                              {(ix + f[0]) * cell[0], (iy + f[1]) * cell[1],
+                               (iz + f[2]) * cell[2]}});
+  return st;
+}
+
+}  // namespace
+
+Structure make_hcp(Species s, double a, double c, index_t nx, index_t ny, index_t nz) {
+  const std::array<double, 3> cell{a, std::sqrt(3.0) * a, c};
+  const std::vector<std::array<double, 3>> basis{
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 5.0 / 6.0, 0.5}, {0.0, 1.0 / 3.0, 0.5}};
+  return from_basis(s, cell, basis, nx, ny, nz);
+}
+
+Structure make_fcc(Species s, double a, index_t nx, index_t ny, index_t nz) {
+  const std::vector<std::array<double, 3>> basis{
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  return from_basis(s, {a, a, a}, basis, nx, ny, nz);
+}
+
+Structure make_bcc(Species s, double a, index_t nx, index_t ny, index_t nz) {
+  const std::vector<std::array<double, 3>> basis{{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+  return from_basis(s, {a, a, a}, basis, nx, ny, nz);
+}
+
+void add_random_solutes(Structure& st, Species solute, double fraction, unsigned seed) {
+  Rng rng(seed);
+  const index_t target = static_cast<index_t>(std::llround(fraction * st.natoms()));
+  index_t placed = 0;
+  int guard = 0;
+  while (placed < target && guard++ < 100 * st.natoms()) {
+    const auto i = rng.integer(static_cast<std::uint64_t>(st.natoms()));
+    if (st.atoms[i].species != solute) {
+      st.atoms[i].species = solute;
+      ++placed;
+    }
+  }
+}
+
+}  // namespace dftfe::atoms

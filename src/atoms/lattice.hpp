@@ -1,0 +1,25 @@
+#pragma once
+
+// Crystal lattice generators. HCP uses the orthorhombic 4-atom setting
+// (a, sqrt(3) a, c), convenient for the rectilinear FE meshes and for
+// building twin/dislocation supercells.
+
+#include "atoms/structure.hpp"
+
+namespace dftfe::atoms {
+
+/// HCP supercell: nx x ny x nz orthorhombic cells of dimensions
+/// (a, sqrt(3) a, c), 4 atoms per cell, periodic.
+Structure make_hcp(Species s, double a, double c, index_t nx, index_t ny, index_t nz);
+
+/// FCC supercell: cubic cells of lattice constant a, 4 atoms per cell.
+Structure make_fcc(Species s, double a, index_t nx, index_t ny, index_t nz);
+
+/// BCC supercell: cubic cells of lattice constant a, 2 atoms per cell.
+Structure make_bcc(Species s, double a, index_t nx, index_t ny, index_t nz);
+
+/// Replace a random fraction of atoms by `solute` (the paper's Mg-1 at.% Y
+/// random solid solutions). Deterministic for a fixed seed.
+void add_random_solutes(Structure& st, Species solute, double fraction, unsigned seed = 7);
+
+}  // namespace dftfe::atoms

@@ -1,0 +1,49 @@
+#pragma once
+
+// Icosahedral quasicrystal generator by the cut-and-project method — the
+// geometry substrate for the paper's YbCd quasicrystal application
+// (Sec. 6.2, Fig. 6): the Tsai-type i-YbCd5.7 phase is an icosahedral
+// quasicrystal, here modeled by the canonical 6D -> 3D projection of the
+// hypercubic lattice Z^6 with a rhombic-triacontahedron acceptance window
+// (the projection of the unit 6-cube into perpendicular space).
+//
+// The crystalline competitor phase (the paper compares quasicrystal
+// energetics against crystalline phases of the same composition) is modeled
+// by an ordered cubic Yb-Cd6 crystal at matched number density — a
+// documented simplification of the 1/1 Tsai approximant that preserves the
+// bulk-vs-surface energy competition of the paper's first science
+// application (see DESIGN.md).
+//
+// Species decoration: atoms whose perpendicular-space image falls inside an
+// inner window are labeled Yb, the rest Cd; the split radius is chosen to
+// approximate the 1:5.7 Tsai stoichiometry.
+
+#include "atoms/structure.hpp"
+
+namespace dftfe::atoms {
+
+struct QuasicrystalOptions {
+  double scale = 4.8;          // edge length of the projected tiles (Bohr-ish)
+  double tau = 0.0;            // 0 -> golden ratio; else a rational approximant
+  int n_range = 6;             // 6D search box |n_i| <= n_range
+  std::array<double, 3> window_offset{0.013, 0.0071, 0.0043};  // generic shift
+  double yb_window_fraction = 0.42;  // inner-window fraction labeled Yb
+};
+
+/// All projected vertices with parallel-space image inside a sphere of
+/// `radius` centered at the origin (a quasicrystal nanoparticle).
+Structure make_icosahedral_nanoparticle(double radius, QuasicrystalOptions opt = {});
+
+/// Ordered cubic YbCd6 crystal at the same number density as the
+/// quasicrystal: the crystalline competitor phase (periodic).
+Structure make_approximant_crystal(index_t ncells, QuasicrystalOptions opt = {});
+
+/// Number density (atoms per volume) of the infinite quasicrystal for the
+/// given options, estimated from a large projection sample.
+double quasicrystal_density(const QuasicrystalOptions& opt);
+
+/// Exposed for tests: is x (perpendicular-space, in units of the projected
+/// hypercube) inside the rhombic triacontahedron window?
+bool in_triacontahedron_window(const std::array<double, 3>& x_perp, double tau_value);
+
+}  // namespace dftfe::atoms

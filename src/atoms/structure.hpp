@@ -1,0 +1,48 @@
+#pragma once
+
+// Atomic structures and the species table. Valence electron counts match the
+// paper's systems exactly (Sec. 6.2): Mg 2, Y 11 (hence DislocMgY's
+// 6,016 atoms -> 12,041 electrons with a single Y solute), Yb 24, Cd 20
+// (hence Yb295Cd1648 -> 40,040 electrons). Each species carries a local
+// pseudopotential -Z_val erf(r/rc)/r, i.e. a Gaussian smeared core charge,
+// substituting for the paper's ONCV pseudopotentials (see DESIGN.md).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "base/defs.hpp"
+
+namespace dftfe::atoms {
+
+enum class Species : int { Mg = 0, Y, Yb, Cd, X };  // X: generic test species
+
+struct SpeciesInfo {
+  std::string name;
+  double z_valence = 0.0;
+  double rc = 1.0;  // Gaussian width of the local pseudopotential (Bohr)
+};
+
+const SpeciesInfo& species_info(Species s);
+
+struct Atom {
+  Species species = Species::X;
+  std::array<double, 3> pos{0.0, 0.0, 0.0};
+};
+
+struct Structure {
+  std::vector<Atom> atoms;
+  std::array<double, 3> box{0.0, 0.0, 0.0};
+  std::array<bool, 3> periodic{false, false, false};
+
+  index_t natoms() const { return static_cast<index_t>(atoms.size()); }
+  double n_electrons() const;
+  /// Count atoms of one species.
+  index_t count(Species s) const;
+  /// Minimum interatomic distance (minimum image on periodic axes).
+  double min_distance() const;
+  /// Translate all atoms (no wrapping).
+  void translate(const std::array<double, 3>& t);
+};
+
+}  // namespace dftfe::atoms

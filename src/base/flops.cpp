@@ -1,0 +1,10 @@
+#include "base/flops.hpp"
+
+namespace dftfe {
+
+FlopCounter& FlopCounter::global() {
+  static FlopCounter c;
+  return c;
+}
+
+}  // namespace dftfe

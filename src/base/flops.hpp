@@ -1,0 +1,67 @@
+#pragma once
+
+// Global FLOP accounting, mirroring the paper's measurement methodology
+// (Sec. 6.3): FLOPs of the dominant dense kernels are counted analytically
+// (e.g. 2*m*n*k per real GEMM, 4x for complex), attributed to named steps,
+// and divided by a calibrated machine peak to obtain "% of peak".
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dftfe {
+
+class FlopCounter {
+ public:
+  /// Add FLOPs to the global total and to the named step bucket (if set).
+  void add(double flops) {
+    total_.fetch_add(static_cast<std::int64_t>(flops), std::memory_order_relaxed);
+    if (!current_step_.empty()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      steps_[current_step_] += flops;
+    }
+  }
+  double total() const { return static_cast<double>(total_.load()); }
+
+  /// Attribute subsequent FLOPs to a named step (e.g. "CF", "CholGS-S").
+  void set_step(std::string name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    current_step_ = std::move(name);
+  }
+  double step(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = steps_.find(name);
+    return it == steps_.end() ? 0.0 : it->second;
+  }
+  std::map<std::string, double> steps() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return steps_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    total_.store(0);
+    steps_.clear();
+    current_step_.clear();
+  }
+
+  static FlopCounter& global();
+
+ private:
+  std::atomic<std::int64_t> total_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, double> steps_;
+  std::string current_step_;
+};
+
+/// RAII step attribution: FLOPs recorded inside the scope land in `name`.
+class ScopedFlopStep {
+ public:
+  explicit ScopedFlopStep(std::string name) { FlopCounter::global().set_step(std::move(name)); }
+  ~ScopedFlopStep() { FlopCounter::global().set_step(""); }
+  ScopedFlopStep(const ScopedFlopStep&) = delete;
+  ScopedFlopStep& operator=(const ScopedFlopStep&) = delete;
+};
+
+}  // namespace dftfe

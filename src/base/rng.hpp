@@ -1,0 +1,31 @@
+#pragma once
+
+// Deterministic random numbers. Every stochastic choice in the library
+// (initial wavefunction guesses, solute placement, training shuffles) goes
+// through a seeded generator so tests and benches are reproducible.
+
+#include <cstdint>
+#include <random>
+
+namespace dftfe {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : gen_(seed) {}
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(gen_);
+  }
+  std::uint64_t integer(std::uint64_t n) {  // in [0, n)
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace dftfe

@@ -1,0 +1,80 @@
+#pragma once
+
+// Plain-text table printer used by the bench harness to emit the same
+// rows/columns the paper's tables and figure captions report.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dftfe {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  template <class... Ts>
+  void add(Ts&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(std::forward<Ts>(cells))), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+  static std::string sci(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    auto line = [&] {
+      os << '+';
+      for (auto x : w) os << std::string(x + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        const std::string& s = c < r.size() ? r[c] : std::string();
+        os << ' ' << s << std::string(w[c] - s.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(header_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+ private:
+  template <class T>
+  static std::string to_cell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dftfe

@@ -1,0 +1,10 @@
+#include "base/timer.hpp"
+
+namespace dftfe {
+
+ProfileRegistry& ProfileRegistry::global() {
+  static ProfileRegistry reg;
+  return reg;
+}
+
+}  // namespace dftfe

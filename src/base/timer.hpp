@@ -1,0 +1,78 @@
+#pragma once
+
+// Wall-clock timing and a hierarchical named-section profile registry.
+//
+// The paper measures per-step wall times (CF, CholGS-S, CholGS-CI, CholGS-O,
+// RR-P, RR-D, RR-SR, DC, DH+EP) with MPI_Wtime-style timers (Sec. 6.3); this
+// registry plays the same role for the bench harness.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dftfe {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates (count, total seconds) per named section. Not thread-safe by
+/// design: sections are recorded from the orchestrating thread only, matching
+/// how the paper times whole parallel steps rather than per-thread work.
+class ProfileRegistry {
+ public:
+  struct Entry {
+    double seconds = 0.0;
+    std::int64_t count = 0;
+  };
+
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.seconds += seconds;
+    ++e.count;
+  }
+  const Entry* find(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  double seconds(const std::string& name) const {
+    const Entry* e = find(name);
+    return e ? e->seconds : 0.0;
+  }
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Process-wide registry used by the solver steps.
+  static ProfileRegistry& global();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII section timer feeding a registry.
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string name, ProfileRegistry& reg = ProfileRegistry::global())
+      : name_(std::move(name)), reg_(reg) {}
+  ~ScopedTimer() { reg_.add(name_, t_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  ProfileRegistry& reg_;
+  Timer t_;
+};
+
+}  // namespace dftfe

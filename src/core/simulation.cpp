@@ -1,0 +1,143 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "xc/lda.hpp"
+#include "xc/pbe.hpp"
+
+namespace dftfe::core {
+
+ml::Mlp train_surrogate_mlxc(int epochs, unsigned seed) {
+  // Train the enhancement network to reproduce a PBE oracle's {v_xc, E_xc}
+  // on a realistic (rho, sigma) sample. This substitutes for 3D QMB
+  // reference data (unavailable here) while exercising the identical MLXC
+  // code path inside the SCF: DNN inference for e_xc, back-propagated input
+  // gradients for v_xc.
+  xc::GgaPbe oracle;
+  std::vector<xc::MlxcSystem> systems(1);
+  auto& sys = systems[0];
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      xc::MlxcSample s;
+      s.rho = 0.004 * std::pow(1.8, i);
+      const double kf = std::cbrt(3.0 * kPi * kPi * s.rho);
+      const double smax = 2.0 * kf * s.rho;  // s ~ O(1) range
+      s.sigma = std::pow(0.35 * j * smax, 2);
+      std::vector<double> exc, vrho, vsigma;
+      oracle.evaluate({s.rho}, {s.sigma}, exc, vrho, vsigma);
+      s.vxc = vrho[0];
+      s.weight = 1.0 / 72.0;
+      sys.exc_total += s.weight * s.rho * exc[0];
+      sys.samples.push_back(s);
+    }
+  }
+  ml::Mlp net = xc::MlxcFunctional::make_paper_network(2, 24, seed);
+  xc::train_mlxc(net, systems, epochs, 3e-3);
+  return net;
+}
+
+std::shared_ptr<xc::XCFunctional> make_functional(const std::string& name,
+                                                  const std::optional<std::string>& weights) {
+  if (name == "LDA") return std::make_shared<xc::LdaPW92>();
+  if (name == "PBE") return std::make_shared<xc::GgaPbe>();
+  if (name == "none") return nullptr;
+  if (name == "MLXC") {
+    if (weights) return std::make_shared<xc::MlxcFunctional>(ml::Mlp::load(*weights));
+    static ml::Mlp cached = train_surrogate_mlxc();
+    return std::make_shared<xc::MlxcFunctional>(cached);
+  }
+  throw std::invalid_argument("make_functional: unknown functional " + name);
+}
+
+Simulation::Simulation(atoms::Structure st, SimulationOptions opt)
+    : structure_(std::move(st)), opt_(opt) {
+  // Box: periodic axes keep the supercell length; isolated axes get vacuum
+  // padding with the atoms re-centered.
+  std::array<double, 3> lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  for (const auto& a : structure_.atoms)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], a.pos[d]);
+      hi[d] = std::max(hi[d], a.pos[d]);
+    }
+  std::array<double, 3> box{};
+  std::array<double, 3> shift{};
+  for (int d = 0; d < 3; ++d) {
+    if (structure_.periodic[d]) {
+      box[d] = structure_.box[d];
+      shift[d] = 0.0;
+    } else {
+      box[d] = (hi[d] - lo[d]) + 2.0 * opt_.vacuum;
+      shift[d] = opt_.vacuum - lo[d];
+    }
+  }
+  structure_.translate(shift);
+  structure_.box = box;
+
+  auto axis = [&](int d) {
+    const index_t nc = std::max<index_t>(2, std::llround(box[d] / opt_.mesh_size));
+    return fe::make_uniform_axis(box[d], nc, structure_.periodic[d]);
+  };
+  mesh_ = std::make_unique<fe::Mesh>(axis(0), axis(1), axis(2));
+  dofh_ = std::make_unique<fe::DofHandler>(*mesh_, opt_.fe_degree);
+
+  nelectrons_ = 0.0;
+  for (const auto& a : structure_.atoms) {
+    const auto& info = atoms::species_info(a.species);
+    double z = info.z_valence;
+    if (auto it = opt_.z_override.find(a.species); it != opt_.z_override.end()) z = it->second;
+    nuclei_.push_back({a.pos, z, info.rc});
+    nelectrons_ += z;
+  }
+}
+
+SimulationResult Simulation::run() {
+  auto xcf = make_functional(opt_.functional, opt_.mlxc_weights);
+  SimulationResult res;
+  res.natoms = structure_.natoms();
+  res.ndofs = dofh_->ndofs();
+  res.n_electrons = nelectrons_;
+
+  const bool gamma_only =
+      opt_.kpoints.empty() ||
+      (opt_.kpoints.size() == 1 && opt_.kpoints[0].k[0] == 0.0 && opt_.kpoints[0].k[1] == 0.0 &&
+       opt_.kpoints[0].k[2] == 0.0);
+
+  if (gamma_only) {
+    auto solver = std::make_unique<ks::KohnShamDFT<double>>(*dofh_, xcf,
+                                                            std::vector<ks::KPointSample>{},
+                                                            opt_.scf);
+    solver->set_nuclei(nuclei_, nelectrons_);
+    res.scf = solver->solve();
+    solver_ = std::move(solver);
+  } else {
+    auto solver = std::make_unique<ks::KohnShamDFT<complex_t>>(*dofh_, xcf, opt_.kpoints,
+                                                               opt_.scf);
+    solver->set_nuclei(nuclei_, nelectrons_);
+    res.scf = solver->solve();
+    solver_ = std::move(solver);
+  }
+  res.energy = res.scf.energy.total;
+  res.energy_per_atom = res.energy / std::max<index_t>(res.natoms, 1);
+  return res;
+}
+
+std::vector<std::array<double, 3>> Simulation::forces() {
+  if (auto* p = std::get_if<std::unique_ptr<ks::KohnShamDFT<double>>>(&solver_))
+    return (*p)->forces();
+  if (auto* p = std::get_if<std::unique_ptr<ks::KohnShamDFT<complex_t>>>(&solver_))
+    return (*p)->forces();
+  throw std::runtime_error("Simulation::forces: run() first");
+}
+
+ks::KohnShamDFT<double>& Simulation::gamma_solver() {
+  if (auto* p = std::get_if<std::unique_ptr<ks::KohnShamDFT<double>>>(&solver_)) return **p;
+  throw std::runtime_error("Simulation: no Gamma-point solver active");
+}
+
+ks::KohnShamDFT<complex_t>& Simulation::kpoint_solver() {
+  if (auto* p = std::get_if<std::unique_ptr<ks::KohnShamDFT<complex_t>>>(&solver_)) return **p;
+  throw std::runtime_error("Simulation: no k-point solver active");
+}
+
+}  // namespace dftfe::core

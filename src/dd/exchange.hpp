@@ -1,0 +1,119 @@
+#pragma once
+
+// Emulated partition-boundary communication (paper Secs. 5.4.2-5.4.4).
+//
+// This environment exposes a single CPU core and no network, so distributed
+// execution is emulated (see DESIGN.md):
+//  * REAL: the pack -> wire buffer -> unpack data path, including the FP32
+//    wire format of Sec. 5.4.2 — values genuinely pass through float storage,
+//    so the numerical effect of single-precision boundary communication is
+//    exactly reproduced — and the byte/message accounting.
+//  * MODELED: the time a real interconnect would take. Each exchange charges
+//    latency_per_message + bytes / bandwidth to `stats().modeled_seconds`.
+//    Scaling benches compose these modeled times with measured compute times
+//    through the pipeline simulator (dd/pipeline.hpp), the same methodology
+//    as network simulators like SimGrid/LogGP.
+
+#include <cmath>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "base/timer.hpp"
+#include "dd/partition.hpp"
+#include "la/matrix.hpp"
+#include "la/mixed.hpp"
+
+namespace dftfe::dd {
+
+struct CommStats {
+  std::int64_t bytes = 0;
+  std::int64_t messages = 0;
+  double modeled_seconds = 0.0;  // interconnect model time
+  double pack_seconds = 0.0;     // real pack/unpack time spent
+  void clear() { *this = CommStats{}; }
+};
+
+enum class Wire { fp64, fp32 };
+
+struct CommModel {
+  double bandwidth_bytes_per_s = 25e9;  // ~ one NIC link per rank pair
+  double latency_s = 2e-6;
+
+  double time(std::int64_t bytes, std::int64_t messages) const {
+    return messages * latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+  /// Recursive-doubling allreduce of `bytes` across `ranks`.
+  double allreduce_time(std::int64_t bytes, int ranks) const {
+    if (ranks <= 1) return 0.0;
+    const int steps = static_cast<int>(std::ceil(std::log2(static_cast<double>(ranks))));
+    return steps * (latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s);
+  }
+};
+
+/// Exchanges (re-transmits) the interface-plane rows of a block of vectors.
+/// In a real distributed run each rank sends its partial contributions for
+/// the shared plane and adds the received ones; in this shared-memory
+/// emulation the summed value is already in place, so the exchange
+/// round-trips the plane through the wire format: byte counts, message
+/// counts, modeled time, and the FP32 rounding of transmitted data all match
+/// the distributed code path.
+template <class T>
+class BoundaryExchange {
+ public:
+  BoundaryExchange(const SlabPartition& part, Wire wire, CommModel model = {})
+      : part_(&part), wire_(wire), model_(model) {}
+
+  Wire wire() const { return wire_; }
+  const CommStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+  const CommModel& model() const { return model_; }
+
+  /// Exchange all interface planes of X (M x B block). Returns the modeled
+  /// wire time of this call (also accumulated into stats()).
+  double exchange(la::Matrix<T>& X) {
+    double modeled = 0.0;
+    for (const index_t z : part_->interface_planes()) modeled += exchange_plane(X, z);
+    return modeled;
+  }
+
+ private:
+  double exchange_plane(la::Matrix<T>& X, index_t z) {
+    const auto [lo, hi] = part_->plane_range(z);
+    const index_t rows = hi - lo;
+    const index_t B = X.cols();
+    const index_t count = rows * B;
+
+    Timer t;
+    index_t bytes = 0;
+    if (wire_ == Wire::fp32) {
+      using L = la::low_precision_t<T>;
+      wire32_.resize(count * sizeof(L));
+      L* buf = reinterpret_cast<L*>(wire32_.data());
+      for (index_t j = 0; j < B; ++j) la::demote<T>(X.col(j) + lo, buf + j * rows, rows);
+      for (index_t j = 0; j < B; ++j) la::promote<T>(buf + j * rows, X.col(j) + lo, rows);
+      bytes = count * static_cast<index_t>(sizeof(L));
+    } else {
+      wire64_.resize(count);
+      T* buf = wire64_.data();
+      for (index_t j = 0; j < B; ++j) std::copy(X.col(j) + lo, X.col(j) + hi, buf + j * rows);
+      for (index_t j = 0; j < B; ++j)
+        std::copy(buf + j * rows, buf + (j + 1) * rows, X.col(j) + lo);
+      bytes = count * static_cast<index_t>(sizeof(T));
+    }
+    stats_.pack_seconds += t.seconds();
+    stats_.bytes += 2 * bytes;  // send + receive
+    stats_.messages += 2;
+    const double modeled = model_.time(2 * bytes, 2);
+    stats_.modeled_seconds += modeled;
+    return modeled;
+  }
+
+  const SlabPartition* part_;
+  Wire wire_;
+  CommModel model_;
+  CommStats stats_;
+  std::vector<unsigned char> wire32_;
+  std::vector<T> wire64_;
+};
+
+}  // namespace dftfe::dd

@@ -1,0 +1,23 @@
+#include "dd/partition.hpp"
+
+#include <stdexcept>
+
+namespace dftfe::dd {
+
+SlabPartition::SlabPartition(const fe::DofHandler& dofh, int nranks) {
+  if (nranks < 1) throw std::invalid_argument("SlabPartition: nranks >= 1 required");
+  plane_size_ = dofh.naxis(0) * dofh.naxis(1);
+  nplanes_ = dofh.naxis(2);
+  const int r_eff = static_cast<int>(std::min<index_t>(nranks, nplanes_));
+  slabs_.resize(r_eff);
+  for (int r = 0; r < r_eff; ++r) {
+    slabs_[r].z_begin = nplanes_ * r / r_eff;
+    slabs_[r].z_end = nplanes_ * (r + 1) / r_eff;
+  }
+  // Interfaces: the first plane of each rank > 0 receives contributions from
+  // the rank below (cells straddle the plane). Periodic z adds the wrap.
+  for (int r = 1; r < r_eff; ++r) interfaces_.push_back(slabs_[r].z_begin);
+  if (dofh.mesh().axis(2).periodic && r_eff > 1) interfaces_.push_back(0);
+}
+
+}  // namespace dftfe::dd

@@ -1,0 +1,51 @@
+#pragma once
+
+// Domain decomposition of the structured FE dof grid into z-slabs, one per
+// emulated MPI rank. No real network exists in this environment, so the
+// communication layer (exchange.hpp) moves the data through staging buffers
+// (preserving the exact pack/wire/unpack code path, including the FP32 wire
+// format of Sec. 5.4.2) and charges a modeled interconnect time for it. The
+// strong-scaling benches combine this with OpenMP thread scaling.
+//
+// Because dofs are numbered x-fastest, each z-plane is a contiguous index
+// range, which is what makes slab interfaces cheap to pack.
+
+#include <vector>
+
+#include "base/defs.hpp"
+#include "fe/dofs.hpp"
+
+namespace dftfe::dd {
+
+struct Slab {
+  index_t z_begin = 0;  // first owned z-plane
+  index_t z_end = 0;    // one past last owned z-plane
+};
+
+class SlabPartition {
+ public:
+  SlabPartition(const fe::DofHandler& dofh, int nranks);
+
+  int nranks() const { return static_cast<int>(slabs_.size()); }
+  const Slab& slab(int r) const { return slabs_[r]; }
+  index_t plane_size() const { return plane_size_; }  // dofs per z-plane
+  index_t nplanes() const { return nplanes_; }
+
+  /// Interface planes between neighboring ranks (z index of the shared
+  /// plane). With periodic z there is additionally the wrap interface at
+  /// plane 0.
+  const std::vector<index_t>& interface_planes() const { return interfaces_; }
+
+  /// Global dof range [begin, end) of a z-plane (contiguous by construction).
+  std::pair<index_t, index_t> plane_range(index_t z) const {
+    return {z * plane_size_, (z + 1) * plane_size_};
+  }
+
+ private:
+  std::vector<Slab> slabs_;
+  std::vector<index_t> interfaces_;
+  index_t plane_size_ = 0;
+  index_t nplanes_ = 0;
+};
+
+}  // namespace dftfe::dd

@@ -1,0 +1,83 @@
+#pragma once
+
+// FE-cell-level operator application — the computational heart of the
+// reproduction (paper Sec. 5.4.1):
+//
+//   Y^b = Assembly_FE { H_ci X_ci^b }
+//
+// Cells are grouped by geometry (identical (hx, hy, hz) share one dense cell
+// matrix), blocks of wavefunctions are gathered to cell-local storage, the
+// per-cell dense matrices are applied with strided-batched GEMM, and results
+// are scattered back (assembled) into the global vector. On structured/graded
+// meshes there are only a handful of geometry groups, so the batched GEMM
+// reuses one A matrix across the whole batch (stride 0), exactly like the
+// reference-cell reuse in DFT-FE.
+//
+// The class is templated on the scalar: real for Gamma-point calculations and
+// complex for k-point sampled Hamiltonians, where the Bloch-twisted kinetic
+// operator  1/2 (-i grad + k)^2  adds  -i k . grad  cross terms and a
+// +|k|^2/2 diagonal to the cell matrices.
+
+#include <array>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "fe/dofs.hpp"
+#include "la/batched.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::fe {
+
+/// Builds and applies  A = coef_lap * (grad, grad) [+ Bloch terms].
+/// With coef_lap = 1/2 and a k-point this is the kinetic operator of the KS
+/// Hamiltonian; with coef_lap = 1 (real, k = 0) it is the Poisson stiffness.
+template <class T>
+class CellStiffness {
+ public:
+  CellStiffness(const DofHandler& dofh, double coef_lap,
+                std::array<double, 3> kpoint = {0.0, 0.0, 0.0});
+
+  /// Y += A X for a block of column vectors (Y must be sized like X).
+  void apply_add(const la::Matrix<T>& X, la::Matrix<T>& Y) const;
+
+  /// Same operator applied by sum factorization (tensor contractions with
+  /// the 1D reference matrices, O(p^4) per cell instead of the dense cell
+  /// matrix's O(p^6)). Available when the operator has no Bloch terms.
+  /// DFT-FE chooses the *dense* path on GPUs because batched GEMMs buy
+  /// arithmetic intensity despite the extra FLOPs (Sec. 5.4.1); the
+  /// cell-linalg ablation bench quantifies that trade-off here.
+  void apply_add_sumfac(const la::Matrix<T>& X, la::Matrix<T>& Y) const;
+  bool supports_sumfac() const { return !has_bloch_; }
+
+  /// y += A x for a single vector.
+  void apply_add(const std::vector<T>& x, std::vector<T>& y) const;
+
+  /// Analytic FLOP count of one block apply with `ncols` columns.
+  double flops_per_apply(index_t ncols) const;
+
+  index_t ngroups() const { return static_cast<index_t>(groups_.size()); }
+  const DofHandler& dofs() const { return *dofh_; }
+
+  /// Maximum number of cells gathered at once (workspace bound); exposed so
+  /// benches can explore the arithmetic-intensity/memory trade-off.
+  void set_chunk_cells(index_t n) { chunk_cells_ = n; }
+
+ private:
+  struct Group {
+    la::Matrix<T> A;              // dense cell matrix, ndofc x ndofc
+    std::vector<index_t> cells;   // member cell ids
+    double cxx = 0, cyy = 0, czz = 0;  // per-direction sum-factorization scales
+  };
+
+  const DofHandler* dofh_;
+  std::vector<Group> groups_;
+  std::vector<index_t> cell_dof_map_;  // ncells * ndofc global dof ids
+  la::Matrix<double> k1_;              // 1D reference stiffness (sum factorization)
+  bool has_bloch_ = false;
+  index_t chunk_cells_ = 16;
+};
+
+extern template class CellStiffness<double>;
+extern template class CellStiffness<complex_t>;
+
+}  // namespace dftfe::fe

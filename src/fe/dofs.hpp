@@ -1,0 +1,76 @@
+#pragma once
+
+// Degree-of-freedom handler for the tensor-product GLL spectral-element
+// basis: global numbering (periodic wrap or Dirichlet boundaries per axis),
+// cell-to-global maps, the lumped (diagonal) mass matrix, Jacobi diagonal of
+// the Laplacian, field evaluation and integration.
+
+#include <array>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "fe/gll.hpp"
+#include "fe/mesh.hpp"
+
+namespace dftfe::fe {
+
+class DofHandler {
+ public:
+  DofHandler(const Mesh& mesh, int degree);
+
+  const Mesh& mesh() const { return *mesh_; }
+  int degree() const { return degree_; }
+  int nodes_per_cell_1d() const { return degree_ + 1; }
+  index_t ndofs_per_cell() const {
+    const index_t n = degree_ + 1;
+    return n * n * n;
+  }
+  index_t ndofs() const { return naxis_[0] * naxis_[1] * naxis_[2]; }
+  index_t naxis(int d) const { return naxis_[d]; }
+
+  /// Reference GLL nodes/weights of one cell edge.
+  const std::vector<double>& ref_nodes() const { return ref_nodes_; }
+  const std::vector<double>& ref_weights() const { return ref_weights_; }
+
+  /// Global dof ids of a cell, local ordering x fastest: (i, j, k) -> i + n*(j + n*k).
+  void cell_dofs(index_t cell, std::vector<index_t>& dofs) const;
+
+  /// Coordinates of a global dof.
+  std::array<double, 3> dof_point(index_t g) const;
+  /// Per-axis global node coordinates.
+  const std::vector<double>& axis_coords(int d) const { return coords_[d]; }
+
+  /// Assembled lumped mass vector (diagonal of M), length ndofs().
+  const std::vector<double>& mass() const { return mass_; }
+  /// Assembled diagonal of the full Laplacian stiffness \int grad u . grad v.
+  const std::vector<double>& laplacian_diagonal() const { return kdiag_; }
+
+  /// Dirichlet boundary dofs (nodes on non-periodic outer faces).
+  const std::vector<index_t>& boundary_dofs() const { return boundary_; }
+  /// Boundary indicator (1.0 on boundary dofs, else 0.0), length ndofs().
+  const std::vector<double>& boundary_mask() const { return boundary_mask_; }
+
+  /// Integral of a nodal field: sum_i m_i f_i (GLL quadrature).
+  double integrate(const std::vector<double>& f) const;
+
+  /// Evaluate a nodal field at an arbitrary point inside the box.
+  double evaluate(const std::vector<double>& f, double x, double y, double z) const;
+
+ private:
+  index_t axis_dof(int d, index_t cell, int local) const {
+    const index_t g = cell * degree_ + local;
+    return mesh_->axis(d).periodic ? (g % naxis_[d]) : g;
+  }
+
+  const Mesh* mesh_;
+  int degree_;
+  std::array<index_t, 3> naxis_;
+  std::vector<double> ref_nodes_, ref_weights_;
+  std::array<std::vector<double>, 3> coords_;      // per-axis global coordinates
+  std::array<std::vector<double>, 3> mass1d_;      // per-axis lumped mass
+  std::array<std::vector<double>, 3> kdiag1d_;     // per-axis stiffness diagonal
+  std::vector<double> mass_, kdiag_, boundary_mask_;
+  std::vector<index_t> boundary_;
+};
+
+}  // namespace dftfe::fe

@@ -1,0 +1,137 @@
+#include "fe/gll.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dftfe::fe {
+
+std::pair<double, double> legendre(int m, double x) {
+  if (m == 0) return {1.0, 0.0};
+  double pm1 = 1.0, p = x;
+  for (int k = 1; k < m; ++k) {
+    const double pnew = ((2 * k + 1) * x * p - k * pm1) / (k + 1);
+    pm1 = p;
+    p = pnew;
+  }
+  double dp;
+  if (std::abs(std::abs(x) - 1.0) < 1e-14) {
+    // P'_m(+-1) = (+-1)^{m-1} m(m+1)/2
+    const double sign = (x > 0) ? 1.0 : ((m % 2 == 0) ? -1.0 : 1.0);
+    dp = sign * 0.5 * m * (m + 1);
+  } else {
+    dp = m * (x * p - pm1) / (x * x - 1.0);
+  }
+  return {p, dp};
+}
+
+std::vector<double> gll_nodes(int n) {
+  if (n < 2) throw std::invalid_argument("gll_nodes: need n >= 2");
+  const int N = n - 1;
+  std::vector<double> x(n);
+  x[0] = -1.0;
+  x[N] = 1.0;
+  for (int i = 1; i < N; ++i) {
+    // Chebyshev-Lobatto initial guess, then Newton on f = (1-x^2) P'_N with
+    // f' = -N(N+1) P_N (via the Legendre ODE).
+    double xi = -std::cos(kPi * i / N);
+    for (int it = 0; it < 100; ++it) {
+      auto [p, dp] = legendre(N, xi);
+      const double f = (1.0 - xi * xi) * dp;
+      const double fp = -static_cast<double>(N) * (N + 1) * p;
+      const double dx = f / fp;
+      xi -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    x[i] = xi;
+  }
+  return x;
+}
+
+std::vector<double> gll_weights(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  const int N = n - 1;
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    auto [p, dp] = legendre(N, nodes[i]);
+    (void)dp;
+    w[i] = 2.0 / (N * (N + 1) * p * p);
+  }
+  return w;
+}
+
+void gauss_legendre(int n, std::vector<double>& nodes, std::vector<double>& weights) {
+  nodes.resize(n);
+  weights.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double xi = std::cos(kPi * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      auto [p, dp] = legendre(n, xi);
+      const double dx = p / dp;
+      xi -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    auto [p, dp] = legendre(n, xi);
+    (void)p;
+    nodes[n - 1 - i] = xi;  // descending cos -> ascending nodes
+    weights[n - 1 - i] = 2.0 / ((1.0 - xi * xi) * dp * dp);
+  }
+}
+
+la::Matrix<double> gll_derivative_matrix(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  const int N = n - 1;
+  la::Matrix<double> D(n, n);
+  std::vector<double> LN(n);
+  for (int i = 0; i < n; ++i) LN[i] = legendre(N, nodes[i]).first;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        if (i == 0)
+          D(i, j) = -0.25 * N * (N + 1);
+        else if (i == N)
+          D(i, j) = 0.25 * N * (N + 1);
+        else
+          D(i, j) = 0.0;
+      } else {
+        D(i, j) = (LN[i] / LN[j]) / (nodes[i] - nodes[j]);
+      }
+    }
+  return D;
+}
+
+std::vector<double> lagrange_eval(const std::vector<double>& nodes, double x) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<double> l(n, 0.0);
+  // Exact hit on a node.
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(x - nodes[i]) < 1e-14) {
+      l[i] = 1.0;
+      return l;
+    }
+  }
+  // Barycentric form with weights w_i = 1 / prod_{j != i} (x_i - x_j).
+  std::vector<double> bw(n, 1.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (j != i) bw[i] /= (nodes[i] - nodes[j]);
+  double denom = 0.0;
+  for (int i = 0; i < n; ++i) denom += bw[i] / (x - nodes[i]);
+  for (int i = 0; i < n; ++i) l[i] = (bw[i] / (x - nodes[i])) / denom;
+  return l;
+}
+
+la::Matrix<double> reference_stiffness_1d(int n) {
+  const auto x = gll_nodes(n);
+  const auto w = gll_weights(x);
+  const auto D = gll_derivative_matrix(x);
+  la::Matrix<double> K(n, n);
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b) {
+      double s = 0.0;
+      for (int m = 0; m < n; ++m) s += w[m] * D(m, a) * D(m, b);
+      K(a, b) = s;
+    }
+  return K;
+}
+
+}  // namespace dftfe::fe

@@ -1,0 +1,42 @@
+#pragma once
+
+// Gauss-Lobatto-Legendre (GLL) nodes, weights, Lagrange shape functions and
+// the spectral differentiation matrix — the 1D building blocks of the
+// higher-order spectral finite-element basis (paper Sec. 5.4.1, p = 6-8).
+// Collocating quadrature on the GLL nodes lumps the mass matrix diagonally,
+// which is what makes the FE basis behave like the Löwdin-orthonormalized
+// basis of the paper: the generalized KS eigenproblem reduces to a standard
+// one after a diagonal scaling.
+
+#include <vector>
+
+#include "base/defs.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::fe {
+
+/// Legendre polynomial P_m(x) and derivative P'_m(x) by recurrence.
+std::pair<double, double> legendre(int m, double x);
+
+/// n GLL nodes on [-1, 1] (endpoints included), ascending. Requires n >= 2.
+std::vector<double> gll_nodes(int n);
+
+/// GLL quadrature weights for the given nodes: w_i = 2 / (n(n-1) P_{n-1}(x_i)^2).
+/// Exact for polynomials of degree <= 2n-3.
+std::vector<double> gll_weights(const std::vector<double>& nodes);
+
+/// n Gauss-Legendre nodes/weights on [-1, 1] (no endpoints), exact to degree
+/// 2n-1. Used for reference integration in tests.
+void gauss_legendre(int n, std::vector<double>& nodes, std::vector<double>& weights);
+
+/// Spectral differentiation matrix on the GLL nodes: D(i, j) = l_j'(x_i).
+la::Matrix<double> gll_derivative_matrix(const std::vector<double>& nodes);
+
+/// Barycentric evaluation of all n Lagrange basis functions at point x.
+std::vector<double> lagrange_eval(const std::vector<double>& nodes, double x);
+
+/// 1D reference stiffness K(a, b) = \int_{-1}^{1} l_a' l_b' dx, computed with
+/// GLL quadrature (exact, the integrand has degree 2n-4 <= 2n-3).
+la::Matrix<double> reference_stiffness_1d(int n);
+
+}  // namespace dftfe::fe

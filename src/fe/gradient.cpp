@@ -1,0 +1,73 @@
+#include "fe/gradient.hpp"
+
+#include "fe/gll.hpp"
+
+namespace dftfe::fe {
+
+namespace {
+
+/// Accumulate the mass-weighted cell-local derivative of f along direction d
+/// into num; num / mass is the averaged nodal derivative.
+void accumulate_derivative(const DofHandler& dofh, const std::vector<double>& f, int dim,
+                           std::vector<double>& num) {
+  const int n = dofh.nodes_per_cell_1d();
+  const auto D = gll_derivative_matrix(dofh.ref_nodes());
+  const auto& w = dofh.ref_weights();
+  const Mesh& mesh = dofh.mesh();
+  std::vector<index_t> dofs;
+  std::vector<double> loc(dofh.ndofs_per_cell()), der(dofh.ndofs_per_cell());
+  auto idx = [n](int i, int j, int k) { return i + n * (j + n * k); };
+
+  for (index_t c = 0; c < mesh.ncells_total(); ++c) {
+    dofh.cell_dofs(c, dofs);
+    const auto h = mesh.cell_sizes(c);
+    for (std::size_t a = 0; a < dofs.size(); ++a) loc[a] = f[dofs[a]];
+    const double jac = 2.0 / h[dim];
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (int m = 0; m < n; ++m) {
+            if (dim == 0)
+              s += D(i, m) * loc[idx(m, j, k)];
+            else if (dim == 1)
+              s += D(j, m) * loc[idx(i, m, k)];
+            else
+              s += D(k, m) * loc[idx(i, j, m)];
+          }
+          der[idx(i, j, k)] = s * jac;
+        }
+    const double vol8 = h[0] * h[1] * h[2] / 8.0;
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const double m = w[i] * w[j] * w[k] * vol8;
+          num[dofs[idx(i, j, k)]] += m * der[idx(i, j, k)];
+        }
+  }
+}
+
+}  // namespace
+
+std::array<std::vector<double>, 3> nodal_gradient(const DofHandler& dofh,
+                                                  const std::vector<double>& f) {
+  std::array<std::vector<double>, 3> g;
+  const auto& mass = dofh.mass();
+  for (int d = 0; d < 3; ++d) {
+    g[d].assign(dofh.ndofs(), 0.0);
+    accumulate_derivative(dofh, f, d, g[d]);
+    for (index_t i = 0; i < dofh.ndofs(); ++i) g[d][i] /= mass[i];
+  }
+  return g;
+}
+
+std::vector<double> nodal_divergence(const DofHandler& dofh,
+                                     const std::array<std::vector<double>, 3>& v) {
+  std::vector<double> div(dofh.ndofs(), 0.0);
+  const auto& mass = dofh.mass();
+  for (int d = 0; d < 3; ++d) accumulate_derivative(dofh, v[d], d, div);
+  for (index_t i = 0; i < dofh.ndofs(); ++i) div[i] /= mass[i];
+  return div;
+}
+
+}  // namespace dftfe::fe

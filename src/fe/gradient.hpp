@@ -1,0 +1,23 @@
+#pragma once
+
+// Nodal gradients and divergences of FE fields via the spectral
+// differentiation matrix, mass-averaged at shared nodes. Used for the GGA /
+// MLXC descriptors (sigma = |grad rho|^2) and the divergence part of the XC
+// potential, v_xc = vrho - 2 div(vsigma grad rho).
+
+#include <array>
+#include <vector>
+
+#include "fe/dofs.hpp"
+
+namespace dftfe::fe {
+
+/// Mass-averaged nodal gradient of a nodal field.
+std::array<std::vector<double>, 3> nodal_gradient(const DofHandler& dofh,
+                                                  const std::vector<double>& f);
+
+/// Mass-averaged nodal divergence of a nodal vector field.
+std::vector<double> nodal_divergence(const DofHandler& dofh,
+                                     const std::array<std::vector<double>, 3>& v);
+
+}  // namespace dftfe::fe

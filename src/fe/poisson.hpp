@@ -1,0 +1,35 @@
+#pragma once
+
+// FE Poisson solver for the electrostatic ("EP") step: -lap(phi) = 4 pi rho.
+// Periodic boxes solve the zero-mean problem (the compensating-background
+// gauge); isolated boxes impose Dirichlet values from the monopole moment of
+// the charge on the outer boundary. Jacobi-preconditioned CG on the
+// cell-level stiffness operator.
+
+#include <vector>
+
+#include "fe/cell_ops.hpp"
+#include "fe/dofs.hpp"
+#include "la/iterative.hpp"
+
+namespace dftfe::fe {
+
+class PoissonSolver {
+ public:
+  explicit PoissonSolver(const DofHandler& dofh);
+
+  /// Solve -lap(phi) = 4 pi rho for the nodal field rho; phi is overwritten
+  /// (its previous content is used as the CG initial guess if sized).
+  la::SolveReport solve(const std::vector<double>& rho, std::vector<double>& phi,
+                        double tol = 1e-9, int maxit = 4000) const;
+
+  bool periodic() const { return periodic_; }
+  const CellStiffness<double>& stiffness() const { return K_; }
+
+ private:
+  const DofHandler* dofh_;
+  CellStiffness<double> K_;  // coef_lap = 1
+  bool periodic_;
+};
+
+}  // namespace dftfe::fe

@@ -1,0 +1,56 @@
+#pragma once
+
+// Inverse DFT in the 1D pipeline (paper Sec. 5.1): given a target density
+// rho_QMB from full CI, find the exact XC potential v_xc(x) such that the KS
+// system reproduces it.
+//
+// Two solvers:
+//  * Analytic two-electron inversion (validation oracle): for a closed-shell
+//    two-electron singlet the occupied KS orbital is phi = sqrt(rho/2), so
+//      v_s(x) = eps + phi''(x) / (2 phi(x)),
+//    gauged so v_s -> 0 in the far field; then v_xc = v_s - v_ext - v_H.
+//  * PDE-constrained optimization (the paper's general method): minimize
+//    int (rho_KS - rho_QMB)^2 subject to the KS equations. Each iteration
+//    solves the KS eigenproblem plus the adjoint equations
+//      (H - eps_i) p_i = g_i,   g_i = -P_perp (rho_KS - rho_QMB) psi_i,
+//    with the preconditioned *block MINRES* of Sec. 5.3.1, and updates
+//      v_xc <- v_xc - eta * sum_i f_i p_i psi_i
+//    with backtracking line search. Far-field behavior is pinned to the
+//    physical -(N-1) * w_soft(x) asymptote (the 1D analog of the paper's
+//    -1/r boundary condition).
+
+#include "onedim/ks1d.hpp"
+#include "qmb/grid1d.hpp"
+
+namespace dftfe::invdft {
+
+struct Invert1DOptions {
+  int max_iterations = 600;  // the paper reports typical 500-600 iterations
+  double loss_tol = 1e-10;   // int (rho - rho_t)^2 dx
+  double adjoint_tol = 1e-8;
+  bool use_preconditioner = true;
+  bool verbose = false;
+};
+
+struct Invert1DResult {
+  bool converged = false;
+  int iterations = 0;
+  double loss = 0.0;
+  std::vector<double> v_xc;
+  std::vector<double> rho_ks;
+  std::vector<double> loss_history;
+  std::int64_t adjoint_minres_iterations = 0;  // total, for the precond ablation
+};
+
+/// Analytic two-electron inversion (exact for singlets).
+std::vector<double> invert_two_electron_analytic(const qmb::Grid1D& grid,
+                                                 const qmb::Molecule1D& mol,
+                                                 const std::vector<double>& rho_target);
+
+/// General PDE-constrained inversion. `v_xc0` seeds the iteration (pass the
+/// LDA v_xc or zeros).
+Invert1DResult invert_pde_constrained(const qmb::Grid1D& grid, const qmb::Molecule1D& mol,
+                                      const std::vector<double>& rho_target,
+                                      std::vector<double> v_xc0, Invert1DOptions opt = {});
+
+}  // namespace dftfe::invdft

@@ -1,0 +1,27 @@
+#pragma once
+
+// Cholesky factorization and triangular inversion, used by the CholGS step of
+// Algorithm 1: S = L L^H, then the orthonormalization X_o = X_f L^{-H}
+// requires L^{-1} (the paper's "CholGS-CI" step).
+
+#include "la/matrix.hpp"
+
+namespace dftfe::la {
+
+/// In-place lower Cholesky of a Hermitian positive-definite matrix (only the
+/// lower triangle of A is referenced; on return the lower triangle holds L and
+/// the strict upper triangle is zeroed). Returns false if A is not positive
+/// definite to working precision.
+template <class T>
+bool cholesky_lower(Matrix<T>& A);
+
+/// In-place inversion of a lower-triangular matrix.
+template <class T>
+void invert_lower_triangular(Matrix<T>& L);
+
+extern template bool cholesky_lower<double>(Matrix<double>&);
+extern template bool cholesky_lower<complex_t>(Matrix<complex_t>&);
+extern template void invert_lower_triangular<double>(Matrix<double>&);
+extern template void invert_lower_triangular<complex_t>(Matrix<complex_t>&);
+
+}  // namespace dftfe::la

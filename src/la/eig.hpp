@@ -1,0 +1,33 @@
+#pragma once
+
+// Dense Hermitian eigensolvers for the Rayleigh-Ritz step (RR-D in
+// Algorithm 1). Real symmetric matrices are reduced to tridiagonal form by
+// Householder reflections and diagonalized by the implicit-shift QL
+// iteration. Complex Hermitian matrices (k-point sampled Hamiltonians) are
+// solved through the standard real embedding
+//   H = A + iB  ->  M = [[A, -B], [B, A]]  (symmetric, eigenvalues doubled),
+// followed by reconstruction of a complex orthonormal eigenbasis.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace dftfe::la {
+
+/// Eigen-decomposition of a real symmetric matrix. On return `evals` is
+/// ascending and column j of `evecs` is the eigenvector for evals[j].
+void symmetric_eig(const Matrix<double>& A, std::vector<double>& evals, Matrix<double>& evecs);
+
+/// Eigen-decomposition of a Hermitian matrix (template dispatches to the real
+/// or embedded-complex path).
+template <class T>
+void hermitian_eig(const Matrix<T>& A, std::vector<double>& evals, Matrix<T>& evecs);
+
+template <>
+void hermitian_eig<double>(const Matrix<double>& A, std::vector<double>& evals,
+                           Matrix<double>& evecs);
+template <>
+void hermitian_eig<complex_t>(const Matrix<complex_t>& A, std::vector<double>& evals,
+                              Matrix<complex_t>& evecs);
+
+}  // namespace dftfe::la

@@ -1,0 +1,64 @@
+#pragma once
+
+// Dense column-major matrix container. Column-major is chosen to match BLAS
+// conventions: a block of wavefunctions is an M x B matrix whose columns are
+// the individual states, so "apply operator to a block" is a GEMM on
+// contiguous columns — the layout the paper's cell-level linear algebra
+// (Sec. 5.4.1) relies on.
+
+#include <algorithm>
+#include <cassert>
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "base/defs.hpp"
+
+namespace dftfe::la {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols) : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+  index_t ld() const { return rows_; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* col(index_t j) { return data_.data() + j * rows_; }
+  const T* col(index_t j) const { return data_.data() + j * rows_; }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+
+  void resize(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), T{});
+  }
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(T{}); }
+
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixF = Matrix<float>;
+using MatrixZ = Matrix<std::complex<double>>;
+
+}  // namespace dftfe::la

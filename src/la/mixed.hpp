@@ -1,0 +1,70 @@
+#pragma once
+
+// Mixed-precision helpers (Sec. 5.4.2 of the paper). Two uses:
+//  * FP32 wire format for FE partition-boundary communication (src/dd packs
+//    ghost values through these converters);
+//  * FP32 evaluation of the off-diagonal blocks of S = X^H X and of the
+//    Rayleigh-Ritz projection, with FP64 kept on the diagonal blocks. As the
+//    SCF converges the filtered vectors approach eigenvectors and the
+//    off-diagonal entries go to zero, so single precision there does not
+//    perturb the result beyond the discretization error.
+
+#include <complex>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::la {
+
+/// Map a scalar to its reduced-precision counterpart.
+template <class T>
+struct low_precision {
+  using type = float;
+};
+template <>
+struct low_precision<double> {
+  using type = float;
+};
+template <>
+struct low_precision<std::complex<double>> {
+  using type = std::complex<float>;
+};
+template <class T>
+using low_precision_t = typename low_precision<T>::type;
+
+template <class T>
+void demote(const T* src, low_precision_t<T>* dst, index_t n) {
+#pragma omp parallel for if (n > 8192)
+  for (index_t i = 0; i < n; ++i) dst[i] = static_cast<low_precision_t<T>>(src[i]);
+}
+
+template <class T>
+void promote(const low_precision_t<T>* src, T* dst, index_t n) {
+#pragma omp parallel for if (n > 8192)
+  for (index_t i = 0; i < n; ++i) dst[i] = static_cast<T>(src[i]);
+}
+
+/// C = op(A)^ * op(B) evaluated in reduced precision, result promoted back to
+/// T. FLOPs are still counted at the full analytic rate (the paper's FLOP
+/// accounting does not discount FP32 work; the benefit shows up as time).
+template <class T>
+void gemm_low_precision(char transa, char transb, index_t m, index_t n, index_t k,
+                        const T* A, index_t lda, const T* B, index_t ldb, T* C, index_t ldc) {
+  using L = low_precision_t<T>;
+  // Demote the referenced panels. For simplicity the full stored extents of
+  // op(A)/op(B) panels are converted.
+  const index_t acols = (transa == 'N') ? k : m;
+  const index_t bcols = (transb == 'N') ? n : k;
+  std::vector<L> Af(static_cast<std::size_t>(lda) * acols),
+      Bf(static_cast<std::size_t>(ldb) * bcols), Cf(static_cast<std::size_t>(m) * n);
+  demote(A, Af.data(), lda * acols);
+  demote(B, Bf.data(), ldb * bcols);
+  gemm<L>(transa, transb, m, n, k, L(1), Af.data(), lda, Bf.data(), ldb, L(0), Cf.data(), m);
+#pragma omp parallel for if (n > 4)
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) C[i + j * ldc] = static_cast<T>(Cf[i + j * m]);
+}
+
+}  // namespace dftfe::la

@@ -1,0 +1,238 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+
+namespace dftfe::ml {
+
+Mlp::Mlp(std::vector<int> sizes, unsigned seed) : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2 || sizes_.back() != 1)
+    throw std::invalid_argument("Mlp: need sizes {n_in, ..., 1}");
+  Rng rng(seed);
+  const int L = static_cast<int>(sizes_.size()) - 1;
+  W_.resize(L);
+  b_.resize(L);
+  mW_.resize(L);
+  vW_.resize(L);
+  mb_.resize(L);
+  vb_.resize(L);
+  for (int l = 0; l < L; ++l) {
+    const int nin = sizes_[l], nout = sizes_[l + 1];
+    W_[l].resize(nout, nin);
+    const double scale = std::sqrt(2.0 / (nin + nout));
+    for (index_t i = 0; i < W_[l].size(); ++i) W_[l].data()[i] = rng.normal(0.0, scale);
+    b_[l].assign(nout, 0.0);
+    mW_[l].resize(nout, nin);
+    vW_[l].resize(nout, nin);
+    mb_[l].assign(nout, 0.0);
+    vb_[l].assign(nout, 0.0);
+  }
+}
+
+index_t Mlp::n_params() const {
+  index_t n = 0;
+  for (std::size_t l = 0; l < W_.size(); ++l) n += W_[l].size() + static_cast<index_t>(b_[l].size());
+  return n;
+}
+
+void Mlp::forward_impl(const la::MatrixD& X, std::vector<la::MatrixD>& Z,
+                       std::vector<la::MatrixD>& A) const {
+  const int L = n_layers();
+  const index_t batch = X.cols();
+  A.resize(L + 1);
+  Z.resize(L);
+  A[0] = X;
+  for (int l = 0; l < L; ++l) {
+    const int nout = sizes_[l + 1];
+    Z[l].resize(nout, batch);
+    la::gemm('N', 'N', 1.0, W_[l], A[l], 0.0, Z[l]);
+    for (index_t j = 0; j < batch; ++j)
+      for (int i = 0; i < nout; ++i) Z[l](i, j) += b_[l][i];
+    A[l + 1].resize(nout, batch);
+    const bool last = (l == L - 1);
+    for (index_t j = 0; j < batch; ++j)
+      for (int i = 0; i < nout; ++i)
+        A[l + 1](i, j) = last ? Z[l](i, j) : elu(Z[l](i, j));
+  }
+}
+
+std::vector<double> Mlp::forward(const la::MatrixD& X) const {
+  std::vector<la::MatrixD> Z, A;
+  forward_impl(X, Z, A);
+  const index_t batch = X.cols();
+  std::vector<double> y(batch);
+  for (index_t j = 0; j < batch; ++j) y[j] = A.back()(0, j);
+  return y;
+}
+
+la::MatrixD Mlp::input_gradients(const la::MatrixD& X) const {
+  std::vector<la::MatrixD> Z, A;
+  forward_impl(X, Z, A);
+  const int L = n_layers();
+  const index_t batch = X.cols();
+  // Back-propagate U = dy/da from the scalar output to the inputs.
+  la::MatrixD U(1, batch);
+  U.fill(1.0);
+  for (int l = L - 1; l >= 0; --l) {
+    const int nout = sizes_[l + 1];
+    la::MatrixD S(nout, batch);
+    const bool last = (l == L - 1);
+    for (index_t j = 0; j < batch; ++j)
+      for (int i = 0; i < nout; ++i)
+        S(i, j) = (last ? 1.0 : elu_d1(Z[l](i, j))) * U(i, j);
+    la::MatrixD Unext(sizes_[l], batch);
+    la::gemm('T', 'N', 1.0, W_[l], S, 0.0, Unext);
+    U = std::move(Unext);
+  }
+  return U;
+}
+
+MlpGradients Mlp::zero_gradients() const {
+  MlpGradients g;
+  const int L = n_layers();
+  g.dW.resize(L);
+  g.db.resize(L);
+  for (int l = 0; l < L; ++l) {
+    g.dW[l].resize(sizes_[l + 1], sizes_[l]);
+    g.db[l].assign(sizes_[l + 1], 0.0);
+  }
+  return g;
+}
+
+std::vector<double> Mlp::accumulate_gradients(const la::MatrixD& X,
+                                              const std::vector<double>& gy,
+                                              const la::MatrixD& V,
+                                              MlpGradients& grads) const {
+  const int L = n_layers();
+  const index_t batch = X.cols();
+  std::vector<la::MatrixD> Z, A;
+  forward_impl(X, Z, A);
+  std::vector<double> y(batch);
+  for (index_t j = 0; j < batch; ++j) y[j] = A.back()(0, j);
+
+  const bool has_v = (V.rows() == sizes_[0] && V.cols() == batch);
+
+  // Zbar[l] accumulates adjoints of z^{l} from the input-gradient loss.
+  std::vector<la::MatrixD> Zbar(L);
+  for (int l = 0; l < L; ++l) {
+    Zbar[l].resize(sizes_[l + 1], batch);
+    Zbar[l].zero();
+  }
+
+  if (has_v) {
+    // Recompute the input-gradient chain, storing S_l and U_l.
+    std::vector<la::MatrixD> S(L), U(L + 1);
+    U[L].resize(1, batch);
+    U[L].fill(1.0);
+    for (int l = L - 1; l >= 0; --l) {
+      const int nout = sizes_[l + 1];
+      S[l].resize(nout, batch);
+      const bool last = (l == L - 1);
+      for (index_t j = 0; j < batch; ++j)
+        for (int i = 0; i < nout; ++i)
+          S[l](i, j) = (last ? 1.0 : elu_d1(Z[l](i, j))) * U[l + 1](i, j);
+      U[l].resize(sizes_[l], batch);
+      la::gemm('T', 'N', 1.0, W_[l], S[l], 0.0, U[l]);
+    }
+    // Reverse sweep over the backward chain: Ubar[0] = V; ascend layers.
+    la::MatrixD Ubar = V;
+    for (int l = 0; l < L; ++l) {
+      const int nout = sizes_[l + 1];
+      la::MatrixD Sbar(nout, batch);
+      la::gemm('N', 'N', 1.0, W_[l], Ubar, 0.0, Sbar);   // sbar = W_l ubar_{l-1}
+      la::gemm('N', 'T', 1.0, S[l], Ubar, 1.0, grads.dW[l]);  // dW += s ubar^T
+      const bool last = (l == L - 1);
+      la::MatrixD Unext(nout, batch);
+      for (index_t j = 0; j < batch; ++j)
+        for (int i = 0; i < nout; ++i) {
+          const double d1 = last ? 1.0 : elu_d1(Z[l](i, j));
+          const double d2 = last ? 0.0 : elu_d2(Z[l](i, j));
+          Unext(i, j) = d1 * Sbar(i, j);
+          Zbar[l](i, j) += d2 * U[l + 1](i, j) * Sbar(i, j);
+        }
+      Ubar = std::move(Unext);
+    }
+  }
+
+  // Single descending pass: combine the output-loss adjoint gy with the
+  // accumulated Zbar contributions and push through the forward graph.
+  la::MatrixD acc(1, batch);
+  for (index_t j = 0; j < batch; ++j) acc(0, j) = gy.empty() ? 0.0 : gy[j];
+  for (int l = L - 1; l >= 0; --l) {
+    const int nout = sizes_[l + 1];
+    for (index_t j = 0; j < batch; ++j)
+      for (int i = 0; i < nout; ++i) acc(i, j) += Zbar[l](i, j);
+    la::gemm('N', 'T', 1.0, acc, A[l], 1.0, grads.dW[l]);
+    for (index_t j = 0; j < batch; ++j)
+      for (int i = 0; i < nout; ++i) grads.db[l][i] += acc(i, j);
+    if (l > 0) {
+      la::MatrixD down(sizes_[l], batch);
+      la::gemm('T', 'N', 1.0, W_[l], acc, 0.0, down);
+      for (index_t j = 0; j < batch; ++j)
+        for (int i = 0; i < sizes_[l]; ++i) down(i, j) *= elu_d1(Z[l - 1](i, j));
+      acc = std::move(down);
+    }
+  }
+  return y;
+}
+
+void Mlp::adam_step(const MlpGradients& grads, double lr, double beta1, double beta2,
+                    double eps) {
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_t_));
+  for (int l = 0; l < n_layers(); ++l) {
+    for (index_t i = 0; i < W_[l].size(); ++i) {
+      const double g = grads.dW[l].data()[i];
+      double& m = mW_[l].data()[i];
+      double& v = vW_[l].data()[i];
+      m = beta1 * m + (1 - beta1) * g;
+      v = beta2 * v + (1 - beta2) * g * g;
+      W_[l].data()[i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+    }
+    for (std::size_t i = 0; i < b_[l].size(); ++i) {
+      const double g = grads.db[l][i];
+      double& m = mb_[l][i];
+      double& v = vb_[l][i];
+      m = beta1 * m + (1 - beta1) * g;
+      v = beta2 * v + (1 - beta2) * g * g;
+      b_[l][i] -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+    }
+  }
+}
+
+void Mlp::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Mlp::save: cannot open " + path);
+  os.precision(17);
+  os << sizes_.size();
+  for (int s : sizes_) os << ' ' << s;
+  os << '\n';
+  for (int l = 0; l < n_layers(); ++l) {
+    for (index_t i = 0; i < W_[l].size(); ++i) os << W_[l].data()[i] << ' ';
+    os << '\n';
+    for (double v : b_[l]) os << v << ' ';
+    os << '\n';
+  }
+}
+
+Mlp Mlp::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("Mlp::load: cannot open " + path);
+  std::size_t ns;
+  is >> ns;
+  std::vector<int> sizes(ns);
+  for (auto& s : sizes) is >> s;
+  Mlp net(sizes);
+  for (int l = 0; l < net.n_layers(); ++l) {
+    for (index_t i = 0; i < net.W_[l].size(); ++i) is >> net.W_[l].data()[i];
+    for (auto& v : net.b_[l]) is >> v;
+  }
+  if (!is) throw std::runtime_error("Mlp::load: truncated file " + path);
+  return net;
+}
+
+}  // namespace dftfe::ml

@@ -1,0 +1,84 @@
+#pragma once
+
+// Minimal dense MLP with ELU activations — the F^DNN of the MLXC functional
+// (paper Sec. 5.2: 5 layers, 80 neurons/layer, ELU). Three capabilities the
+// MLXC pipeline needs beyond a vanilla NN:
+//  * input gradients dy/dx by back-propagation (v_xc^ML = delta e_xc / delta
+//    rho requires dF/drho and dF/ds at inference time);
+//  * double back-propagation: parameter gradients of losses that involve the
+//    input gradients (the paper's composite MSE(E_xc) + MSE(rho v_xc) loss
+//    differentiates through the back-propagated v_xc);
+//  * Adam optimization and plain-text serialization.
+//
+// Batches are column-major: X is (n_in x batch), each column one sample. The
+// network has a single scalar output (the XC enhancement factor).
+
+#include <string>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "base/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::ml {
+
+struct MlpGradients {
+  std::vector<la::MatrixD> dW;
+  std::vector<std::vector<double>> db;
+};
+
+class Mlp {
+ public:
+  /// sizes = {n_in, h_1, ..., h_k, 1}. ELU on hidden layers, linear output.
+  explicit Mlp(std::vector<int> sizes, unsigned seed = 7);
+
+  int n_in() const { return sizes_.front(); }
+  int n_layers() const { return static_cast<int>(W_.size()); }
+  index_t n_params() const;
+
+  /// y(b) for each column of X.
+  std::vector<double> forward(const la::MatrixD& X) const;
+
+  /// G(:, b) = dy/dx for each sample (n_in x batch).
+  la::MatrixD input_gradients(const la::MatrixD& X) const;
+
+  /// Accumulate parameter gradients of a loss L with per-sample dL/dy = gy(b)
+  /// and (optionally) per-sample dL/d(input-gradient) = V(:, b). Pass an
+  /// empty V (0 x 0) for plain output losses. Returns the forward outputs.
+  std::vector<double> accumulate_gradients(const la::MatrixD& X,
+                                           const std::vector<double>& gy,
+                                           const la::MatrixD& V, MlpGradients& grads) const;
+
+  MlpGradients zero_gradients() const;
+
+  /// One Adam step with the given accumulated gradients.
+  void adam_step(const MlpGradients& grads, double lr, double beta1 = 0.9,
+                 double beta2 = 0.999, double eps = 1e-8);
+
+  void save(const std::string& path) const;
+  static Mlp load(const std::string& path);
+
+  const la::MatrixD& weights(int l) const { return W_[l]; }
+  la::MatrixD& weights(int l) { return W_[l]; }
+  std::vector<double>& biases(int l) { return b_[l]; }
+
+ private:
+  struct Workspace;  // per-call activations
+  void forward_impl(const la::MatrixD& X, std::vector<la::MatrixD>& Z,
+                    std::vector<la::MatrixD>& A) const;
+
+  std::vector<int> sizes_;
+  std::vector<la::MatrixD> W_;              // W_[l]: (sizes[l+1] x sizes[l])
+  std::vector<std::vector<double>> b_;      // b_[l]: sizes[l+1]
+  // Adam state
+  std::vector<la::MatrixD> mW_, vW_;
+  std::vector<std::vector<double>> mb_, vb_;
+  std::int64_t adam_t_ = 0;
+};
+
+/// ELU and derivatives (alpha = 1).
+inline double elu(double z) { return z > 0 ? z : std::expm1(z); }
+inline double elu_d1(double z) { return z > 0 ? 1.0 : std::exp(z); }
+inline double elu_d2(double z) { return z > 0 ? 0.0 : std::exp(z); }
+
+}  // namespace dftfe::ml

@@ -1,0 +1,64 @@
+#pragma once
+
+// 1D Kohn-Sham DFT solver on the soft-Coulomb grid — the "DFT side" of the
+// accuracy pipeline (Figs. 1 and 3 analogs): it runs with LDA-X(1D), with
+// MLXC(1D), or with an externally supplied v_xc (the forward solver of
+// inverse DFT). Dense diagonalization per SCF step (grids are small),
+// direct-convolution Hartree, linear+Anderson-free mixing.
+
+#include <memory>
+
+#include "onedim/xc1d.hpp"
+#include "qmb/grid1d.hpp"
+
+namespace dftfe::onedim {
+
+struct Ks1DOptions {
+  int max_iterations = 200;
+  double density_tol = 1e-9;   // max |rho_out - rho_in| * h
+  double mixing = 0.35;
+  bool verbose = false;
+};
+
+struct Ks1DResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;  // total, including nuclear repulsion
+  std::vector<double> density;
+  std::vector<double> eigenvalues;  // occupied + a few virtuals
+  std::vector<double> v_hartree, v_xc;
+};
+
+class KohnSham1D {
+ public:
+  KohnSham1D(const qmb::Grid1D& grid, qmb::Molecule1D mol, std::shared_ptr<const Xc1D> xc,
+             Ks1DOptions opt = {});
+
+  /// Self-consistent solve with the XC functional.
+  Ks1DResult solve();
+
+  /// Single diagonalization with a *given* total KS potential (used by the
+  /// inverse-DFT forward problem). Returns eigenpairs of the lowest
+  /// `nstates` states; eigenvectors grid-normalized columns.
+  static void diagonalize(const qmb::Grid1D& grid, const std::vector<double>& v_ks,
+                          index_t nstates, std::vector<double>& evals, la::MatrixD& orbitals);
+
+  /// Hartree potential of a density (direct soft-Coulomb convolution).
+  static std::vector<double> hartree(const qmb::Grid1D& grid, const std::vector<double>& rho,
+                                     double softening);
+
+  /// sigma = (rho')^2 via 4th-order finite differences.
+  static std::vector<double> gradient_squared(const qmb::Grid1D& grid,
+                                              const std::vector<double>& rho);
+
+  const qmb::Grid1D& grid() const { return grid_; }
+  const qmb::Molecule1D& molecule() const { return mol_; }
+
+ private:
+  qmb::Grid1D grid_;
+  qmb::Molecule1D mol_;
+  std::shared_ptr<const Xc1D> xc_;
+  Ks1DOptions opt_;
+};
+
+}  // namespace dftfe::onedim

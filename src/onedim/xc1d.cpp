@@ -1,0 +1,238 @@
+#include "onedim/xc1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fe/gll.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::onedim {
+
+double bessel_k0(double x) {
+  // Abramowitz & Stegun 9.8.5 / 9.8.6 polynomial approximations.
+  if (x <= 0.0) return 1e30;
+  if (x <= 2.0) {
+    const double t = x / 3.75, t2 = t * t;
+    const double i0 = 1.0 + t2 * (3.5156229 + t2 * (3.0899424 + t2 * (1.2067492 +
+                      t2 * (0.2659732 + t2 * (0.0360768 + t2 * 0.0045813)))));
+    const double u = x * x / 4.0;
+    return -std::log(x / 2.0) * i0 +
+           (-0.57721566 +
+            u * (0.42278420 +
+                 u * (0.23069756 +
+                      u * (0.03488590 + u * (0.00262698 + u * (0.00010750 + u * 0.00000740))))));
+  }
+  const double z = 2.0 / x;
+  return std::exp(-x) / std::sqrt(x) *
+         (1.25331414 +
+          z * (-0.07832358 +
+               z * (0.02189568 +
+                    z * (-0.01062446 + z * (0.00587872 + z * (-0.00251540 + z * 0.00053208))))));
+}
+
+LdaX1D::LdaX1D(double softening) : b_(softening) {
+  // Tabulate eps_x on a log-density grid; the q-integral has an integrable
+  // log singularity at q = 0, handled by geometric subinterval quadrature.
+  const int ngrid = 400;
+  const double lo = std::log(1e-8), hi = std::log(50.0);
+  log_rho_.resize(ngrid);
+  eps_.resize(ngrid);
+  std::vector<double> gx, gw;
+  fe::gauss_legendre(32, gx, gw);
+  for (int i = 0; i < ngrid; ++i) {
+    log_rho_[i] = lo + (hi - lo) * i / (ngrid - 1);
+    const double rho = std::exp(log_rho_[i]);
+    const double kf2 = kPi * rho;  // 2 kF
+    double integral = 0.0;
+    double q1 = kf2;
+    for (int sub = 0; sub < 12; ++sub) {
+      const double q0 = (sub == 11) ? 0.0 : q1 / 4.0;
+      for (std::size_t m = 0; m < gx.size(); ++m) {
+        const double q = 0.5 * (q1 - q0) * (gx[m] + 1.0) + q0;
+        integral += 0.5 * (q1 - q0) * gw[m] * bessel_k0(q * b_) * (kf2 - q);
+      }
+      q1 = q0;
+    }
+    eps_[i] = -integral / (kPi * kPi * rho);
+  }
+}
+
+double LdaX1D::eps_x(double rho) const {
+  const double lr = std::log(std::max(rho, 1.1e-8));
+  const double lo = log_rho_.front(), hi = log_rho_.back();
+  if (lr >= hi) return eps_.back();
+  const double t = (lr - lo) / (hi - lo) * (log_rho_.size() - 1);
+  const index_t i = std::min<index_t>(static_cast<index_t>(t), log_rho_.size() - 2);
+  const double f = t - i;
+  return eps_[i] * (1.0 - f) + eps_[i + 1] * f;
+}
+
+void LdaX1D::evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                      std::vector<double>& exc, std::vector<double>& vrho,
+                      std::vector<double>& vsigma) const {
+  (void)sigma;
+  const std::size_t n = rho.size();
+  exc.resize(n);
+  vrho.resize(n);
+  vsigma.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::max(rho[i], 1e-10);
+    exc[i] = eps_x(r);
+    const double h = 1e-4 * r;
+    const double d = (eps_x(r + h) - eps_x(std::max(r - h, 1e-10))) / (2.0 * h);
+    vrho[i] = exc[i] + r * d;
+  }
+}
+
+double Gga1D::energy_density(double rho, double sigma) const {
+  const double r = std::max(rho, 1e-10);
+  const double s2 = std::max(sigma, 0.0) / (r * r * r * r);
+  const double F = 1.0 + kappa_ - kappa_ / (1.0 + mu_ * s2 / kappa_);
+  return r * lda_->eps_x(r) * F;
+}
+
+void Gga1D::evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                     std::vector<double>& exc, std::vector<double>& vrho,
+                     std::vector<double>& vsigma) const {
+  const std::size_t n = rho.size();
+  exc.resize(n);
+  vrho.resize(n);
+  vsigma.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::max(rho[i], 1e-10);
+    const double sg = std::max(sigma.empty() ? 0.0 : sigma[i], 0.0);
+    exc[i] = energy_density(r, sg) / r;
+    const double hr = 1e-5 * r;
+    vrho[i] = (energy_density(r + hr, sg) - energy_density(std::max(r - hr, 1e-10), sg)) /
+              (2.0 * hr);
+    const double hs = std::max(1e-5 * sg, 1e-12);
+    vsigma[i] = (energy_density(r, sg + hs) - energy_density(r, std::max(sg - hs, 0.0))) /
+                (hs + std::min(sg, hs));
+  }
+}
+
+void Mlxc1D::descriptors(double rho, double sigma, double* x2) {
+  const double r = std::max(rho, 1e-12);
+  const double s2 = std::max(sigma, 0.0) / (r * r * r * r);
+  x2[0] = r / (1.0 + r);
+  x2[1] = s2 / (1.0 + s2);
+}
+
+void Mlxc1D::evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                      std::vector<double>& exc, std::vector<double>& vrho,
+                      std::vector<double>& vsigma) const {
+  const index_t n = static_cast<index_t>(rho.size());
+  exc.resize(n);
+  vrho.resize(n);
+  vsigma.resize(n);
+  la::MatrixD X(2, n);
+  for (index_t i = 0; i < n; ++i) {
+    double x[2];
+    descriptors(rho[i], sigma.empty() ? 0.0 : sigma[i], x);
+    X(0, i) = x[0];
+    X(1, i) = x[1];
+  }
+  const std::vector<double> F = net_.forward(X);
+  const la::MatrixD G = net_.input_gradients(X);
+  for (index_t i = 0; i < n; ++i) {
+    const double r = std::max(rho[i], 1e-10);
+    const double sg = sigma.empty() ? 0.0 : std::max(sigma[i], 0.0);
+    const double ex = lda_->eps_x(r);
+    const double h = 1e-4 * r;
+    const double dex = (lda_->eps_x(r + h) - lda_->eps_x(std::max(r - h, 1e-10))) / (2.0 * h);
+    const double s2 = sg / (r * r * r * r);
+    const double dx1_dr = 1.0 / ((1.0 + r) * (1.0 + r));
+    const double dx2_ds2 = 1.0 / ((1.0 + s2) * (1.0 + s2));
+    const double ds2_dr = -4.0 * s2 / r;
+    const double ds2_dsg = 1.0 / (r * r * r * r);
+    exc[i] = ex * F[i];
+    vrho[i] = (ex + r * dex) * F[i] +
+              r * ex * (G(0, i) * dx1_dr + G(1, i) * dx2_ds2 * ds2_dr);
+    vsigma[i] = r * ex * G(1, i) * dx2_ds2 * ds2_dsg;
+  }
+}
+
+Mlxc1DTrainReport train_mlxc1d(ml::Mlp& net, const LdaX1D& lda,
+                               const std::vector<Mlxc1DSystem>& systems, int epochs,
+                               double lr, double w_exc, double w_vxc) {
+  Mlxc1DTrainReport report;
+  const int nsys = static_cast<int>(systems.size());
+
+  struct Prepared {
+    la::MatrixD X;
+    std::vector<double> ex, dex, a1, a2, s2;  // per-point chain coefficients
+  };
+  std::vector<Prepared> prep(nsys);
+  double all_mass = 0.0;
+  for (int sys = 0; sys < nsys; ++sys) {
+    const auto& S = systems[sys].samples;
+    const index_t n = static_cast<index_t>(S.size());
+    auto& pp = prep[sys];
+    pp.X.resize(2, n);
+    pp.ex.resize(n);
+    pp.dex.resize(n);
+    pp.a1.resize(n);
+    pp.a2.resize(n);
+    pp.s2.resize(n);
+    for (index_t i = 0; i < n; ++i) {
+      const double r = std::max(S[i].rho, 1e-10);
+      double x[2];
+      Mlxc1D::descriptors(r, S[i].sigma, x);
+      pp.X(0, i) = x[0];
+      pp.X(1, i) = x[1];
+      pp.ex[i] = lda.eps_x(r);
+      const double h = 1e-4 * r;
+      pp.dex[i] = (lda.eps_x(r + h) - lda.eps_x(std::max(r - h, 1e-10))) / (2.0 * h);
+      const double s2 = std::max(S[i].sigma, 0.0) / (r * r * r * r);
+      pp.s2[i] = s2;
+      pp.a1[i] = 1.0 / ((1.0 + r) * (1.0 + r));                       // dx1/drho
+      pp.a2[i] = (1.0 / ((1.0 + s2) * (1.0 + s2))) * (-4.0 * s2 / r);  // dx2/drho
+      all_mass += S[i].weight;
+    }
+  }
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    auto grads = net.zero_gradients();
+    double loss_exc = 0.0, loss_vxc = 0.0;
+    for (int sys = 0; sys < nsys; ++sys) {
+      const auto& S = systems[sys].samples;
+      const auto& pp = prep[sys];
+      const index_t n = static_cast<index_t>(S.size());
+      const std::vector<double> F = net.forward(pp.X);
+      const la::MatrixD G = net.input_gradients(pp.X);
+
+      double epred = 0.0;
+      std::vector<double> resid(n);
+      for (index_t i = 0; i < n; ++i) {
+        const double r = std::max(S[i].rho, 1e-10);
+        epred += S[i].weight * r * pp.ex[i] * F[i];
+        const double v = (pp.ex[i] + r * pp.dex[i]) * F[i] +
+                         r * pp.ex[i] * (G(0, i) * pp.a1[i] + G(1, i) * pp.a2[i]);
+        resid[i] = r * (v - S[i].vxc);
+      }
+      const double de = epred - systems[sys].exc_total;
+      loss_exc += de * de / nsys;
+
+      std::vector<double> gy(n, 0.0);
+      la::MatrixD V(2, n);
+      for (index_t i = 0; i < n; ++i) {
+        const double r = std::max(S[i].rho, 1e-10);
+        const double m = S[i].weight;
+        loss_vxc += m * resid[i] * resid[i] / all_mass;
+        gy[i] += w_exc * 2.0 * de / nsys * m * r * pp.ex[i];
+        const double cv = w_vxc * 2.0 * m * resid[i] / all_mass * r;
+        gy[i] += cv * (pp.ex[i] + r * pp.dex[i]);
+        V(0, i) = cv * r * pp.ex[i] * pp.a1[i];
+        V(1, i) = cv * r * pp.ex[i] * pp.a2[i];
+      }
+      net.accumulate_gradients(pp.X, gy, V, grads);
+    }
+    net.adam_step(grads, lr);
+    report.loss_exc = loss_exc;
+    report.loss_vxc = loss_vxc;
+    report.epochs = epoch + 1;
+  }
+  return report;
+}
+
+}  // namespace dftfe::onedim

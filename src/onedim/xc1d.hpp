@@ -1,0 +1,124 @@
+#pragma once
+
+// Exchange-correlation functionals for the 1D soft-Coulomb universe.
+//
+//  * LdaX1D — "Level 1": exchange-only LDA derived from the homogeneous 1D
+//    electron gas with soft-Coulomb interaction,
+//      eps_x(rho) = -(1 / (pi^2 rho)) \int_0^{2 kF} K0(q b) (2 kF - q) dq,
+//    kF = pi rho / 2 (unpolarized), where K0 is the modified Bessel function
+//    (the Fourier transform of 1/sqrt(x^2 + b^2) is 2 K0(|q| b)). Tabulated
+//    on a log-density grid at construction.
+//  * Mlxc1D — "Level 4+": e_xc = rho * eps_x^LDA(rho) * F^DNN(rho, s) with
+//    the enhancement network trained on invDFT data from full-CI densities;
+//    the 1D analog of the paper's MLXC (Sec. 5.2).
+
+#include <memory>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "ml/mlp.hpp"
+
+namespace dftfe::onedim {
+
+/// Modified Bessel function K0 (Abramowitz & Stegun 9.8).
+double bessel_k0(double x);
+
+class Xc1D {
+ public:
+  virtual ~Xc1D() = default;
+  virtual std::string name() const = 0;
+  virtual bool needs_gradient() const = 0;
+  /// Same conventions as xc::XCFunctional: exc per particle,
+  /// vrho = d(rho exc)/drho, vsigma = d(rho exc)/dsigma, sigma = (rho')^2.
+  virtual void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                        std::vector<double>& exc, std::vector<double>& vrho,
+                        std::vector<double>& vsigma) const = 0;
+};
+
+class LdaX1D : public Xc1D {
+ public:
+  explicit LdaX1D(double softening = 1.0);
+  std::string name() const override { return "LDA-X(1D)"; }
+  bool needs_gradient() const override { return false; }
+  void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                std::vector<double>& exc, std::vector<double>& vrho,
+                std::vector<double>& vsigma) const override;
+
+  /// eps_x at a single density (table interpolation).
+  double eps_x(double rho) const;
+
+ private:
+  double b_;
+  std::vector<double> log_rho_, eps_;  // tabulated eps_x(log rho)
+};
+
+/// "Level 2" analog: a PBE-style gradient enhancement on top of the 1D LDA
+/// exchange, e_x = rho eps_x^LDA(rho) F(s^2) with
+/// F = 1 + kappa - kappa / (1 + mu s^2 / kappa), s = |rho'| / rho^2.
+/// Derivatives by central differences of the energy density (as in GgaPbe).
+class Gga1D : public Xc1D {
+ public:
+  explicit Gga1D(std::shared_ptr<const LdaX1D> lda, double mu = 0.22, double kappa = 0.804)
+      : lda_(std::move(lda)), mu_(mu), kappa_(kappa) {}
+  std::string name() const override { return "GGA(1D)"; }
+  bool needs_gradient() const override { return true; }
+  void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                std::vector<double>& exc, std::vector<double>& vrho,
+                std::vector<double>& vsigma) const override;
+
+  double energy_density(double rho, double sigma) const;
+
+ private:
+  std::shared_ptr<const LdaX1D> lda_;
+  double mu_, kappa_;
+};
+
+class Mlxc1D : public Xc1D {
+ public:
+  Mlxc1D(ml::Mlp net, std::shared_ptr<const LdaX1D> lda)
+      : net_(std::move(net)), lda_(std::move(lda)) {}
+  std::string name() const override { return "MLXC(1D)"; }
+  bool needs_gradient() const override { return true; }
+  void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                std::vector<double>& exc, std::vector<double>& vrho,
+                std::vector<double>& vsigma) const override;
+
+  /// Descriptors: { rho, s_1d/(1+s_1d) } with s_1d = |rho'| / rho^2 (the 1D
+  /// dimensionless gradient), fed as { rho/(1+rho), s^2/(1+s^2) }.
+  static void descriptors(double rho, double sigma, double* x2);
+
+  ml::Mlp& net() { return net_; }
+  const LdaX1D& lda() const { return *lda_; }
+
+ private:
+  ml::Mlp net_;
+  std::shared_ptr<const LdaX1D> lda_;
+};
+
+/// Pointwise training datum from the 1D invDFT pipeline.
+struct Mlxc1DSample {
+  double rho = 0.0;
+  double sigma = 0.0;
+  double vxc = 0.0;     // exact XC potential from inverse DFT
+  double weight = 0.0;  // quadrature weight (grid spacing h)
+};
+
+struct Mlxc1DSystem {
+  std::vector<Mlxc1DSample> samples;
+  double exc_total = 0.0;  // exact XC energy of the system
+};
+
+struct Mlxc1DTrainReport {
+  double loss_exc = 0.0;
+  double loss_vxc = 0.0;
+  int epochs = 0;
+};
+
+/// Composite-loss training of the 1D enhancement network (the 1D analog of
+/// xc::train_mlxc): MSE(E_xc) + MSE(rho v_xc) with the v_xc term
+/// differentiated through back-propagation.
+Mlxc1DTrainReport train_mlxc1d(ml::Mlp& net, const LdaX1D& lda,
+                               const std::vector<Mlxc1DSystem>& systems, int epochs,
+                               double lr, double w_exc = 1.0, double w_vxc = 1.0);
+
+}  // namespace dftfe::onedim

@@ -1,0 +1,117 @@
+#include "qmb/fci.hpp"
+
+#include <stdexcept>
+
+#include "base/rng.hpp"
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+
+namespace dftfe::qmb {
+
+FciResult solve_one_electron(const Grid1D& g, const Molecule1D& mol) {
+  const auto v = external_potential(g, mol);
+  const la::MatrixD H = one_electron_hamiltonian(g, v);
+  std::vector<double> ev;
+  la::MatrixD V;
+  la::symmetric_eig(H, ev, V);
+  FciResult r;
+  r.energy = ev[0];
+  r.density.resize(g.n);
+  for (index_t i = 0; i < g.n; ++i) r.density[i] = V(i, 0) * V(i, 0) / g.h;
+  return r;
+}
+
+FciResult solve_two_electron_fci(const Grid1D& g, const Molecule1D& mol, double tol,
+                                 int max_iter) {
+  if (mol.n_electrons != 2)
+    throw std::invalid_argument("solve_two_electron_fci: needs a 2-electron molecule");
+  const index_t n = g.n;
+  const auto vext = external_potential(g, mol);
+  const la::MatrixD h1 = one_electron_hamiltonian(g, vext);
+
+  // Electron-electron interaction on the product grid.
+  la::MatrixD W(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) W(i, j) = soft_coulomb(g.x(i) - g.x(j), mol.b);
+
+  // H Psi = h1 Psi + Psi h1^T + W .* Psi (Psi as an n x n matrix).
+  auto matvec = [&](const la::MatrixD& Psi, la::MatrixD& HPsi) {
+    HPsi.resize(n, n);
+    la::gemm('N', 'N', 1.0, h1, Psi, 0.0, HPsi);
+    la::gemm('N', 'T', 1.0, Psi, h1, 1.0, HPsi);
+    for (index_t i = 0; i < n * n; ++i) HPsi.data()[i] += W.data()[i] * Psi.data()[i];
+  };
+
+  // Lanczos with full reorthogonalization; symmetric start vector keeps the
+  // iteration in the singlet (spatially symmetric) sector.
+  const index_t N2 = n * n;
+  std::vector<la::MatrixD> basis;
+  std::vector<double> alpha, beta;
+  la::MatrixD v(n, n), w(n, n);
+  Rng rng(99);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) {
+      const double val = std::exp(-0.05 * (g.x(i) * g.x(i) + g.x(j) * g.x(j))) +
+                         0.01 * rng.normal();
+      v(i, j) = val;
+      v(j, i) = val;
+    }
+  double nv = la::nrm2(N2, v.data());
+  la::scal(N2, 1.0 / nv, v.data());
+
+  FciResult result;
+  double prev_ritz = 1e300;
+  for (int it = 0; it < max_iter; ++it) {
+    basis.push_back(v);
+    matvec(v, w);
+    const double a = la::dotc(N2, v.data(), w.data());
+    alpha.push_back(a);
+    // w -= a v + beta v_prev, then full reorthogonalization.
+    la::axpy(N2, -a, v.data(), w.data());
+    if (it > 0) la::axpy(N2, -beta.back(), basis[it - 1].data(), w.data());
+    for (const auto& q : basis) {
+      const double ov = la::dotc(N2, q.data(), w.data());
+      la::axpy(N2, -ov, q.data(), w.data());
+    }
+    const double b = la::nrm2(N2, w.data());
+    // Ritz value check every few steps.
+    if (it >= 4 && (it % 4 == 0 || b < 1e-12)) {
+      const index_t k = static_cast<index_t>(alpha.size());
+      la::MatrixD T(k, k);
+      for (index_t i = 0; i < k; ++i) {
+        T(i, i) = alpha[i];
+        if (i + 1 < k) T(i, i + 1) = T(i + 1, i) = beta[i];
+      }
+      std::vector<double> ev;
+      la::MatrixD Q;
+      la::symmetric_eig(T, ev, Q);
+      result.lanczos_iterations = it + 1;
+      if (std::abs(ev[0] - prev_ritz) < tol || b < 1e-12) {
+        // Assemble the ground-state vector and density.
+        la::MatrixD psi(n, n);
+        for (index_t m = 0; m < k; ++m)
+          la::axpy(N2, Q(m, 0), basis[m].data(), psi.data());
+        result.energy = ev[0];
+        result.density.assign(n, 0.0);
+        for (index_t i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (index_t j = 0; j < n; ++j) s += psi(i, j) * psi(i, j);
+          result.density[i] = 2.0 * s / g.h;  // two electrons
+        }
+        return result;
+      }
+      prev_ritz = ev[0];
+    }
+    beta.push_back(b);
+    if (b < 1e-14) break;
+    v = w;
+    la::scal(N2, 1.0 / b, v.data());
+  }
+  throw std::runtime_error("solve_two_electron_fci: Lanczos did not converge");
+}
+
+double total_energy(const FciResult& r, const Molecule1D& mol) {
+  return r.energy + nuclear_repulsion(mol);
+}
+
+}  // namespace dftfe::qmb

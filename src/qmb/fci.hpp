@@ -1,0 +1,32 @@
+#pragma once
+
+// Exact diagonalization (full CI) of 1D soft-Coulomb systems.
+//
+// One electron: dense diagonalization of the FD Hamiltonian.
+// Two electrons (singlet): the spatial wavefunction Psi(x1, x2) is symmetric;
+// H = h (x) I + I (x) h + diag(w) acts on the n x n product grid. The matvec
+// is two GEMMs plus a Hadamard product, and the ground state is found with
+// Lanczos + full reorthogonalization — this is the "Level 4 and beyond"
+// oracle of Fig. 1 that the invDFT -> MLXC pipeline consumes.
+
+#include "qmb/grid1d.hpp"
+
+namespace dftfe::qmb {
+
+struct FciResult {
+  double energy = 0.0;              // total electronic energy (no nuclear term)
+  std::vector<double> density;      // rho(x_i), integrates (sum rho h) to N
+  int lanczos_iterations = 0;
+};
+
+/// Ground state of one electron in the molecular potential.
+FciResult solve_one_electron(const Grid1D& g, const Molecule1D& mol);
+
+/// Singlet ground state of two interacting electrons (full CI).
+FciResult solve_two_electron_fci(const Grid1D& g, const Molecule1D& mol, double tol = 1e-10,
+                                 int max_iter = 400);
+
+/// Total energy including nuclear repulsion.
+double total_energy(const FciResult& r, const Molecule1D& mol);
+
+}  // namespace dftfe::qmb

@@ -1,0 +1,34 @@
+#include "qmb/grid1d.hpp"
+
+namespace dftfe::qmb {
+
+std::vector<double> external_potential(const Grid1D& g, const Molecule1D& mol) {
+  std::vector<double> v(g.n, 0.0);
+  for (index_t i = 0; i < g.n; ++i)
+    for (const auto& nuc : mol.nuclei) v[i] -= nuc.Z * soft_coulomb(g.x(i) - nuc.x, nuc.a);
+  return v;
+}
+
+double nuclear_repulsion(const Molecule1D& mol) {
+  double e = 0.0;
+  for (std::size_t a = 0; a < mol.nuclei.size(); ++a)
+    for (std::size_t b = a + 1; b < mol.nuclei.size(); ++b)
+      e += mol.nuclei[a].Z * mol.nuclei[b].Z *
+           soft_coulomb(mol.nuclei[a].x - mol.nuclei[b].x,
+                        0.5 * (mol.nuclei[a].a + mol.nuclei[b].a));
+  return e;
+}
+
+la::MatrixD one_electron_hamiltonian(const Grid1D& g, const std::vector<double>& v) {
+  la::MatrixD H(g.n, g.n);
+  const double c0 = 5.0 / 2.0, c1 = -4.0 / 3.0, c2 = 1.0 / 12.0;
+  const double k = 0.5 / (g.h * g.h);
+  for (index_t i = 0; i < g.n; ++i) {
+    H(i, i) = k * c0 + v[i];
+    if (i + 1 < g.n) H(i, i + 1) = H(i + 1, i) = k * c1;
+    if (i + 2 < g.n) H(i, i + 2) = H(i + 2, i) = k * c2;
+  }
+  return H;
+}
+
+}  // namespace dftfe::qmb

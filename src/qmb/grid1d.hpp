@@ -1,0 +1,61 @@
+#pragma once
+
+// 1D soft-Coulomb model systems — the quantum-many-body (QMB) oracle
+// substrate. The paper trains MLXC on {rho_QMB, v_xc^exact} pairs from
+// Gaussian-basis CCSD/CI calculations of small molecules; those codes and
+// basis sets are not available here, so the same pipeline runs on the
+// standard laptop-scale surrogate: 1D "molecules" with softened Coulomb
+// interactions, for which full CI is exact and cheap (see DESIGN.md).
+//
+//   nuclear attraction:   v(x)  = -Z / sqrt((x - X_a)^2 + a^2)
+//   electron repulsion:   w(x1, x2) = 1 / sqrt((x1 - x2)^2 + b^2)
+
+#include <cmath>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::qmb {
+
+struct Grid1D {
+  index_t n = 0;
+  double L = 0.0;  // domain is [-L/2, L/2]
+  double h = 0.0;
+
+  Grid1D() = default;
+  Grid1D(index_t n_, double L_) : n(n_), L(L_), h(L_ / (n_ + 1)) {}
+  /// Interior grid points (Dirichlet walls at +-L/2).
+  double x(index_t i) const { return -L / 2.0 + (i + 1) * h; }
+};
+
+/// A 1D "atom": position, nuclear charge, softening length.
+struct Nucleus1D {
+  double x = 0.0;
+  double Z = 1.0;
+  double a = 1.0;
+};
+
+/// A 1D molecule: nuclei + electron count + interaction softening.
+struct Molecule1D {
+  std::vector<Nucleus1D> nuclei;
+  int n_electrons = 2;
+  double b = 1.0;  // electron-electron softening
+};
+
+inline double soft_coulomb(double d, double soft) {
+  return 1.0 / std::sqrt(d * d + soft * soft);
+}
+
+/// External potential of the molecule on the grid.
+std::vector<double> external_potential(const Grid1D& g, const Molecule1D& mol);
+
+/// Nuclear repulsion energy (soft-Coulomb form, consistent with the
+/// electron-nucleus interaction).
+double nuclear_repulsion(const Molecule1D& mol);
+
+/// Dense one-electron Hamiltonian: 4th-order FD kinetic + diagonal potential.
+/// Eigenvectors are grid-normalized (sum psi_i^2 = 1).
+la::MatrixD one_electron_hamiltonian(const Grid1D& g, const std::vector<double>& v);
+
+}  // namespace dftfe::qmb

@@ -1,0 +1,41 @@
+#pragma once
+
+// Exchange-correlation functional interface (libxc-style conventions,
+// spin-unpolarized):
+//   exc[i]    : XC energy per particle at grid point i,
+//   vrho[i]   : d(rho * exc)/d(rho),
+//   vsigma[i] : d(rho * exc)/d(sigma),  sigma = |grad rho|^2.
+// The multiplicative KS potential is  v_xc = vrho - 2 div(vsigma grad rho);
+// the solver assembles the divergence term on the FE/grid side.
+//
+// These are the paper's "levels": LDA (Level 1), GGA-PBE (Level 2), and the
+// machine-learned MLXC (Level 4+, Sec. 5.2).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "base/defs.hpp"
+
+namespace dftfe::xc {
+
+class XCFunctional {
+ public:
+  virtual ~XCFunctional() = default;
+  virtual std::string name() const = 0;
+  virtual bool needs_gradient() const = 0;
+  virtual void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                        std::vector<double>& exc, std::vector<double>& vrho,
+                        std::vector<double>& vsigma) const = 0;
+};
+
+/// Dirac exchange prefactor: ex_LDA = kExLda * rho^{1/3} per particle.
+inline constexpr double kExLda = -0.738558766382022406;  // -(3/4)(3/pi)^{1/3}
+
+/// Reduced density gradient s = |grad rho| / (2 (3 pi^2)^{1/3} rho^{4/3}).
+inline double reduced_gradient(double rho, double sigma) {
+  const double kf = std::cbrt(3.0 * kPi * kPi * rho);
+  return std::sqrt(std::max(sigma, 0.0)) / (2.0 * kf * rho);
+}
+
+}  // namespace dftfe::xc

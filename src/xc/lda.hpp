@@ -1,0 +1,23 @@
+#pragma once
+
+// Level 1: local density approximation — Dirac exchange plus the
+// Perdew-Wang 1992 parametrization of the correlation energy of the uniform
+// electron gas (spin-unpolarized).
+
+#include "xc/functional.hpp"
+
+namespace dftfe::xc {
+
+/// PW92 correlation energy per particle and its d/d(rs) at zeta = 0.
+std::pair<double, double> pw92_ec(double rs);
+
+class LdaPW92 : public XCFunctional {
+ public:
+  std::string name() const override { return "LDA-PW92"; }
+  bool needs_gradient() const override { return false; }
+  void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                std::vector<double>& exc, std::vector<double>& vrho,
+                std::vector<double>& vsigma) const override;
+};
+
+}  // namespace dftfe::xc

@@ -1,0 +1,164 @@
+#include "xc/mlxc.hpp"
+
+#include <cmath>
+#include <iostream>
+
+namespace dftfe::xc {
+
+namespace {
+
+// Descriptor chain-rule coefficients at one point.
+struct Chain {
+  double x1, x2;       // descriptors rho^{1/3}, s2/(1+s2)
+  double dx1_drho;     // (1/3) rho^{-2/3}
+  double dx2_ds2;      // 1/(1+s2)^2
+  double ds2_drho;     // -(8/3) s2 / rho
+  double ds2_dsigma;   // 1 / (4 (3pi^2)^{2/3} rho^{8/3})
+};
+
+Chain make_chain(double rho, double sigma) {
+  const double r = std::max(rho, 1e-12);
+  const double sg = std::max(sigma, 0.0);
+  const double kf = std::cbrt(3.0 * kPi * kPi * r);
+  const double s2 = sg / (4.0 * kf * kf * r * r);
+  Chain c;
+  c.x1 = std::cbrt(r);
+  c.x2 = s2 / (1.0 + s2);
+  c.dx1_drho = 1.0 / (3.0 * c.x1 * c.x1);
+  c.dx2_ds2 = 1.0 / ((1.0 + s2) * (1.0 + s2));
+  c.ds2_drho = -(8.0 / 3.0) * s2 / r;
+  c.ds2_dsigma = 1.0 / (4.0 * kf * kf * r * r);
+  return c;
+}
+
+}  // namespace
+
+void MlxcFunctional::descriptors(double rho, double sigma, double* x3) {
+  const Chain c = make_chain(rho, sigma);
+  x3[0] = c.x1;
+  x3[1] = c.x2;
+  x3[2] = 0.0;  // xi (relative spin density): unpolarized
+}
+
+ml::Mlp MlxcFunctional::make_paper_network(int hidden, int width, unsigned seed) {
+  std::vector<int> sizes;
+  sizes.push_back(3);
+  for (int l = 0; l < hidden; ++l) sizes.push_back(width);
+  sizes.push_back(1);
+  return ml::Mlp(sizes, seed);
+}
+
+void MlxcFunctional::evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                              std::vector<double>& exc, std::vector<double>& vrho,
+                              std::vector<double>& vsigma) const {
+  const index_t n = static_cast<index_t>(rho.size());
+  exc.resize(n);
+  vrho.resize(n);
+  vsigma.resize(n);
+  la::MatrixD X(3, n);
+  std::vector<Chain> chain(n);
+  for (index_t i = 0; i < n; ++i) {
+    chain[i] = make_chain(rho[i], sigma.empty() ? 0.0 : sigma[i]);
+    X(0, i) = chain[i].x1;
+    X(1, i) = chain[i].x2;
+    X(2, i) = 0.0;
+  }
+  const std::vector<double> F = net_.forward(X);
+  const la::MatrixD G = net_.input_gradients(X);
+  for (index_t i = 0; i < n; ++i) {
+    const double r = std::max(rho[i], 1e-12);
+    const double r13 = chain[i].x1;
+    const double r43 = r13 * r;
+    exc[i] = kExLda * r13 * F[i];
+    const double dF_drho =
+        G(0, i) * chain[i].dx1_drho + G(1, i) * chain[i].dx2_ds2 * chain[i].ds2_drho;
+    vrho[i] = kExLda * ((4.0 / 3.0) * r13 * F[i] + r43 * dF_drho);
+    vsigma[i] = kExLda * r43 * G(1, i) * chain[i].dx2_ds2 * chain[i].ds2_dsigma;
+  }
+}
+
+MlxcTrainReport train_mlxc(ml::Mlp& net, const std::vector<MlxcSystem>& systems, int epochs,
+                           double lr, double w_exc, double w_vxc, bool verbose) {
+  MlxcTrainReport report;
+  const int nsys = static_cast<int>(systems.size());
+
+  // Pre-build descriptor batches and chain coefficients per system.
+  struct Prepared {
+    la::MatrixD X;
+    std::vector<Chain> chain;
+    double mass_total = 0.0;
+  };
+  std::vector<Prepared> prep(nsys);
+  double all_mass = 0.0;
+  for (int sys = 0; sys < nsys; ++sys) {
+    const auto& S = systems[sys].samples;
+    const index_t n = static_cast<index_t>(S.size());
+    prep[sys].X.resize(3, n);
+    prep[sys].chain.resize(n);
+    for (index_t i = 0; i < n; ++i) {
+      prep[sys].chain[i] = make_chain(S[i].rho, S[i].sigma);
+      prep[sys].X(0, i) = prep[sys].chain[i].x1;
+      prep[sys].X(1, i) = prep[sys].chain[i].x2;
+      prep[sys].X(2, i) = 0.0;
+      prep[sys].mass_total += S[i].weight;
+    }
+    all_mass += prep[sys].mass_total;
+  }
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    auto grads = net.zero_gradients();
+    double loss_exc = 0.0, loss_vxc = 0.0;
+    for (int sys = 0; sys < nsys; ++sys) {
+      const auto& S = systems[sys].samples;
+      const index_t n = static_cast<index_t>(S.size());
+      const std::vector<double> F = net.forward(prep[sys].X);
+      const la::MatrixD G = net.input_gradients(prep[sys].X);
+
+      // Predicted E_xc and local v_xc per point.
+      double epred = 0.0;
+      std::vector<double> resid(n), a1(n), a2(n), r43v(n);
+      for (index_t i = 0; i < n; ++i) {
+        const Chain& c = prep[sys].chain[i];
+        const double r = std::max(S[i].rho, 1e-12);
+        const double r43 = c.x1 * r;
+        r43v[i] = r43;
+        epred += S[i].weight * kExLda * r43 * F[i];
+        a1[i] = c.dx1_drho;
+        a2[i] = c.dx2_ds2 * c.ds2_drho;
+        const double v = kExLda * ((4.0 / 3.0) * c.x1 * F[i] + r43 * (G(0, i) * a1[i] + G(1, i) * a2[i]));
+        resid[i] = r * (v - S[i].vxc);
+      }
+      const double de = epred - systems[sys].exc_total;
+      loss_exc += de * de / nsys;
+
+      // Per-sample adjoints: dL/dF and dL/d(input gradients).
+      std::vector<double> gy(n, 0.0);
+      la::MatrixD V(3, n);
+      for (index_t i = 0; i < n; ++i) {
+        const Chain& c = prep[sys].chain[i];
+        const double r = std::max(S[i].rho, 1e-12);
+        const double m = S[i].weight;
+        loss_vxc += m * resid[i] * resid[i] / all_mass;
+        // E_xc term.
+        gy[i] += w_exc * 2.0 * de / nsys * m * kExLda * r43v[i];
+        // rho*v_xc term (local part).
+        const double cv = w_vxc * 2.0 * m * resid[i] / all_mass * r * kExLda;
+        gy[i] += cv * (4.0 / 3.0) * c.x1;
+        V(0, i) = cv * r43v[i] * a1[i];
+        V(1, i) = cv * r43v[i] * a2[i];
+        V(2, i) = 0.0;
+      }
+      net.accumulate_gradients(prep[sys].X, gy, V, grads);
+    }
+    net.adam_step(grads, lr);
+    report.loss_exc = loss_exc;
+    report.loss_vxc = loss_vxc;
+    report.epochs = epoch + 1;
+    if (verbose && epoch % 200 == 0)
+      std::cout << "  [mlxc-train] epoch " << epoch << "  mse(Exc)=" << loss_exc
+                << "  mse(rho vxc)=" << loss_vxc << '\n';
+  }
+  return report;
+}
+
+}  // namespace dftfe::xc

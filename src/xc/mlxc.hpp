@@ -1,0 +1,85 @@
+#pragma once
+
+// Level 4+: the machine-learned XC functional (paper Sec. 5.2).
+//
+//   e_xc^ML[rho](r) = rho^{4/3}(r) * phi(r) * F^DNN(rho, xi, s)
+//
+// Here the spin-unpolarized case (xi = 0, phi = 1) is built, and the LDA
+// exchange prefactor kExLda is folded in so F^DNN is a conventional
+// enhancement factor (F = 1 reproduces Dirac exchange). The DNN descriptors
+// are conditioned as x = { rho^{1/3}, s^2/(1+s^2), xi }: a monotone repara-
+// metrization of the paper's (rho, xi, s) inputs that keeps them O(1) and
+// keeps vsigma finite as sigma -> 0.
+//
+// v_xc^ML is obtained from back-propagated input gradients of F^DNN
+// (dF/drho, dF/ds), exactly as the paper obtains v_xc^ML "inexpensively via
+// back-propagation". The trainer implements the paper's composite loss
+// MSE(E_xc) + MSE(rho v_xc); the gradient of the v_xc term differentiates
+// through the back-propagation (double backprop, Mlp::accumulate_gradients).
+// One documented simplification: the sigma-divergence part of v_xc,
+// -2 div(vsigma grad rho), is evaluated in the solver but not differentiated
+// through during training (its loss contribution uses the local vrho part).
+
+#include <memory>
+
+#include "ml/mlp.hpp"
+#include "xc/functional.hpp"
+
+namespace dftfe::xc {
+
+class MlxcFunctional : public XCFunctional {
+ public:
+  explicit MlxcFunctional(ml::Mlp net) : net_(std::move(net)) {}
+
+  std::string name() const override { return "MLXC"; }
+  bool needs_gradient() const override { return true; }
+  void evaluate(const std::vector<double>& rho, const std::vector<double>& sigma,
+                std::vector<double>& exc, std::vector<double>& vrho,
+                std::vector<double>& vsigma) const override;
+
+  const ml::Mlp& net() const { return net_; }
+  ml::Mlp& net() { return net_; }
+
+  /// Paper architecture: 3 inputs (rho, xi, s descriptors), 5 hidden layers
+  /// of 80 neurons, ELU, scalar output. `hidden`/`width` are configurable so
+  /// tests can use small nets.
+  static ml::Mlp make_paper_network(int hidden = 5, int width = 80, unsigned seed = 7);
+
+  /// Build the descriptor column {rho^{1/3}, s/(1+s), xi=0} for one point.
+  static void descriptors(double rho, double sigma, double* x3);
+
+ private:
+  ml::Mlp net_;
+};
+
+/// One training point of the {rho_QMB, v_xc^exact} data from invDFT: the
+/// density, its gradient-square, the exact XC potential, and the quadrature
+/// weight of the point.
+struct MlxcSample {
+  double rho = 0.0;
+  double sigma = 0.0;
+  double vxc = 0.0;
+  double weight = 0.0;
+};
+
+/// One training system: its pointwise samples plus the total exact XC energy
+/// (from the QMB calculation), entering the MSE(E_xc) loss term.
+struct MlxcSystem {
+  std::vector<MlxcSample> samples;
+  double exc_total = 0.0;
+};
+
+struct MlxcTrainReport {
+  double loss_exc = 0.0;   // final MSE on E_xc
+  double loss_vxc = 0.0;   // final weighted MSE on rho*v_xc
+  int epochs = 0;
+};
+
+/// Train the network on invDFT data with the composite loss
+///   L = w_E * sum_systems (E_xc^ML - E_xc)^2
+///     + w_v * sum_points  m_i (rho_i v_i^ML - rho_i v_i)^2.
+MlxcTrainReport train_mlxc(ml::Mlp& net, const std::vector<MlxcSystem>& systems, int epochs,
+                           double lr, double w_exc = 1.0, double w_vxc = 1.0,
+                           bool verbose = false);
+
+}  // namespace dftfe::xc

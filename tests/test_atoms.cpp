@@ -1,0 +1,235 @@
+// Tests for the atomistics substrate: species electron counts against the
+// paper's systems, lattice generators, the icosahedral cut-and-project
+// quasicrystal (window geometry, aperiodicity, stoichiometry), dislocation
+// displacement fields (Burgers circuits, dipole cancellation), twins,
+// random solutes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include <cstdio>
+
+#include "atoms/defects.hpp"
+#include "atoms/io.hpp"
+#include "atoms/lattice.hpp"
+#include "atoms/quasicrystal.hpp"
+#include "atoms/structure.hpp"
+
+namespace dftfe::atoms {
+namespace {
+
+TEST(SpeciesTable, ValenceCountsMatchPaperSystems) {
+  // DislocMgY: 6,016 atoms with one Y solute -> 12,041 electrons.
+  const double e_disloc = 6015 * species_info(Species::Mg).z_valence +
+                          1 * species_info(Species::Y).z_valence;
+  EXPECT_DOUBLE_EQ(e_disloc, 12041.0);
+  // Yb295Cd1648 -> 40,040 electrons.
+  const double e_qc = 295 * species_info(Species::Yb).z_valence +
+                      1648 * species_info(Species::Cd).z_valence;
+  EXPECT_DOUBLE_EQ(e_qc, 40040.0);
+}
+
+TEST(Lattice, HcpCountsAndNearestNeighbor) {
+  const double a = 6.06, c = 9.84;  // Mg in Bohr (a = 3.21 A, c/a = 1.624)
+  const Structure st = make_hcp(Species::Mg, a, c, 3, 2, 2);
+  EXPECT_EQ(st.natoms(), 3 * 2 * 2 * 4);
+  EXPECT_DOUBLE_EQ(st.n_electrons(), st.natoms() * 2.0);
+  // HCP nearest-neighbor distance: min(a, sqrt(a^2/3 + c^2/4)).
+  const double nn = std::min(a, std::sqrt(a * a / 3.0 + c * c / 4.0));
+  EXPECT_NEAR(st.min_distance(), nn, 1e-9);
+}
+
+TEST(Lattice, FccAndBccCounts) {
+  EXPECT_EQ(make_fcc(Species::X, 4.0, 2, 2, 2).natoms(), 32);
+  EXPECT_EQ(make_bcc(Species::X, 4.0, 3, 1, 1).natoms(), 6);
+  // FCC nearest neighbor a/sqrt(2); BCC sqrt(3)/2 a.
+  EXPECT_NEAR(make_fcc(Species::X, 4.0, 2, 2, 2).min_distance(), 4.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(make_bcc(Species::X, 4.0, 2, 2, 2).min_distance(), 4.0 * std::sqrt(3.0) / 2.0,
+              1e-9);
+}
+
+TEST(Lattice, RandomSolutesHitTargetFraction) {
+  Structure st = make_hcp(Species::Mg, 6.0, 9.8, 5, 3, 3);
+  add_random_solutes(st, Species::Y, 0.01, 11);
+  const index_t ny = st.count(Species::Y);
+  EXPECT_EQ(ny, static_cast<index_t>(std::llround(0.01 * st.natoms())));
+  EXPECT_EQ(st.count(Species::Mg) + ny, st.natoms());
+}
+
+// ---------- quasicrystal ----------
+
+TEST(Quasicrystal, WindowContainsOriginAndExcludesFarPoints) {
+  const double tau = 1.618033988749894848;
+  EXPECT_TRUE(in_triacontahedron_window({0.0, 0.0, 0.0}, tau));
+  EXPECT_TRUE(in_triacontahedron_window({0.1, 0.05, -0.08}, tau));
+  EXPECT_FALSE(in_triacontahedron_window({5.0, 0.0, 0.0}, tau));
+  EXPECT_FALSE(in_triacontahedron_window({1.2, 1.2, 1.2}, tau));
+}
+
+TEST(Quasicrystal, WindowIsCentrallySymmetric) {
+  const double tau = 1.618033988749894848;
+  for (double x : {0.3, 0.8, 1.1})
+    for (double y : {0.0, 0.4}) {
+      const bool p = in_triacontahedron_window({x, y, 0.2}, tau);
+      const bool m = in_triacontahedron_window({-x, -y, -0.2}, tau);
+      EXPECT_EQ(p, m);
+    }
+}
+
+TEST(Quasicrystal, NanoparticleHasReasonableGeometry) {
+  QuasicrystalOptions opt;
+  opt.n_range = 4;
+  const Structure st = make_icosahedral_nanoparticle(10.0, opt);
+  ASSERT_GT(st.natoms(), 20);
+  // All atoms inside the sphere, centered in the box.
+  const double cx = st.box[0] / 2;
+  for (const auto& a : st.atoms) {
+    const double r2 = (a.pos[0] - cx) * (a.pos[0] - cx) + (a.pos[1] - cx) * (a.pos[1] - cx) +
+                      (a.pos[2] - cx) * (a.pos[2] - cx);
+    EXPECT_LE(std::sqrt(r2), 10.0 + 1e-9);
+  }
+  // Physical minimum separation (no overlapping projected vertices).
+  EXPECT_GT(st.min_distance(), 1.0);
+  // Both species present, Cd majority (Tsai-like decoration).
+  EXPECT_GT(st.count(Species::Cd), st.count(Species::Yb));
+  EXPECT_GT(st.count(Species::Yb), 0);
+}
+
+TEST(Quasicrystal, AperiodicAlongTwofoldAxis) {
+  // Project a 1D cut: sorted x-coordinates of atoms near the y,z center
+  // plane. For a periodic crystal the spacing sequence would repeat; for the
+  // Fibonacci-like quasicrystal sequence the set of distinct spacings has
+  // two incommensurate values and the sequence never repeats with a single
+  // period. Test: no translation by any candidate period maps the x-set
+  // into itself.
+  QuasicrystalOptions opt;
+  opt.n_range = 7;
+  opt.scale = 2.6;
+  const Structure st = make_icosahedral_nanoparticle(15.0, opt);
+  const double c = st.box[0] / 2;
+  std::vector<double> xs;
+  for (const auto& a : st.atoms)
+    if (std::abs(a.pos[1] - c) < 1.2 && std::abs(a.pos[2] - c) < 1.2) xs.push_back(a.pos[0] - c);
+  std::sort(xs.begin(), xs.end());
+  ASSERT_GT(xs.size(), 8u);
+  auto maps_onto_itself = [&](double period) {
+    int matched = 0, tested = 0;
+    for (double x : xs) {
+      const double xt = x + period;
+      if (xt > xs.back() + 1e-9) continue;
+      ++tested;
+      for (double y : xs)
+        if (std::abs(y - xt) < 0.05) {
+          ++matched;
+          break;
+        }
+    }
+    return tested > 3 && matched == tested;
+  };
+  // Candidate periods: every distinct nearest-neighbor spacing sum up to 4 gaps.
+  bool periodic = false;
+  for (std::size_t i = 0; i + 1 < xs.size() && !periodic; ++i)
+    for (std::size_t k = 1; k <= 4 && i + k < xs.size(); ++k)
+      if (maps_onto_itself(xs[i + k] - xs[i])) periodic = true;
+  EXPECT_FALSE(periodic);
+}
+
+TEST(Quasicrystal, ApproximantCrystalMatchesDensityAndStoichiometry) {
+  QuasicrystalOptions opt;
+  opt.n_range = 5;
+  const Structure cryst = make_approximant_crystal(2, opt);
+  EXPECT_EQ(cryst.natoms(), 2 * 2 * 2 * 7);
+  EXPECT_EQ(cryst.count(Species::Cd), 6 * cryst.count(Species::Yb));
+  const double rho_c = cryst.natoms() / (cryst.box[0] * cryst.box[1] * cryst.box[2]);
+  const double rho_q = quasicrystal_density(opt);
+  EXPECT_NEAR(rho_c, rho_q, 0.15 * rho_q);
+}
+
+
+TEST(XyzIO, RoundTripsStructure) {
+  Structure st = make_hcp(Species::Mg, 6.06, 9.84, 2, 1, 1);
+  st.atoms[1].species = Species::Y;
+  const std::string path = ::testing::TempDir() + "/st_roundtrip.xyz";
+  write_xyz(st, path);
+  const Structure back = read_xyz(path);
+  ASSERT_EQ(back.natoms(), st.natoms());
+  EXPECT_EQ(back.atoms[1].species, Species::Y);
+  for (index_t i = 0; i < st.natoms(); ++i)
+    for (int d = 0; d < 3; ++d) EXPECT_NEAR(back.atoms[i].pos[d], st.atoms[i].pos[d], 1e-9);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(back.box[d], st.box[d], 1e-9);
+    EXPECT_EQ(back.periodic[d], st.periodic[d]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(XyzIO, RejectsMissingFile) {
+  EXPECT_THROW(read_xyz("/nonexistent/file.xyz"), std::runtime_error);
+}
+
+// ---------- defects ----------
+
+TEST(Defects, BurgersCircuitRecoversBurgersVector) {
+  const double bz = 1.7;
+  for (double r : {2.0, 5.0, 11.0})
+    EXPECT_NEAR(std::abs(burgers_circuit(3.0, -1.0, bz, r)), bz, 1e-6) << "r=" << r;
+}
+
+TEST(Defects, ScrewDipoleCancelsFarField) {
+  // Far from the dipole, u_z(+b at c1) + u_z(-b at c2) ~ 0 (decays like
+  // separation / distance).
+  const double bz = 1.0;
+  const std::array<double, 2> c1{10.0, 10.0}, c2{14.0, 10.0};
+  for (double r : {200.0, 400.0}) {
+    const double u = screw_displacement_uz(r, r, c1[0], c1[1], bz) -
+                     screw_displacement_uz(r, r, c2[0], c2[1], bz);
+    EXPECT_LT(std::abs(u), bz * 4.0 / r);
+  }
+}
+
+TEST(Defects, ScrewDipoleDisplacesCoreRegion) {
+  Structure st = make_hcp(Species::Mg, 6.06, 9.84, 6, 4, 2);
+  const Structure ref = st;
+  apply_screw_dipole(st, 9.84, {st.box[0] * 0.25, st.box[1] * 0.5},
+                     {st.box[0] * 0.75, st.box[1] * 0.5});
+  EXPECT_EQ(st.natoms(), ref.natoms());
+  double max_dz = 0.0;
+  for (index_t i = 0; i < st.natoms(); ++i) {
+    double dz = std::abs(st.atoms[i].pos[2] - ref.atoms[i].pos[2]);
+    dz = std::min(dz, st.box[2] - dz);  // modulo the periodic wrap
+    max_dz = std::max(max_dz, dz);
+    EXPECT_DOUBLE_EQ(st.atoms[i].pos[0], ref.atoms[i].pos[0]);
+  }
+  EXPECT_GT(max_dz, 1.0);  // the core region is sheared by ~b/2
+}
+
+TEST(Defects, ReflectionTwinIsMirrorSymmetric) {
+  const Structure parent = make_hcp(Species::Mg, 6.06, 9.84, 6, 2, 2);
+  const double plane = parent.box[0] / 2;
+  const Structure twin = make_reflection_twin(parent, plane);
+  ASSERT_GT(twin.natoms(), parent.natoms() / 2);
+  // Every atom at x has a mirror partner at 2*plane - x (within the box).
+  int checked = 0;
+  for (const auto& a : twin.atoms) {
+    const double xm = 2.0 * plane - a.pos[0];
+    if (xm < 0.0 || xm > twin.box[0]) continue;
+    bool found = false;
+    for (const auto& b : twin.atoms) {
+      const double dx = b.pos[0] - xm, dy = b.pos[1] - a.pos[1], dz = b.pos[2] - a.pos[2];
+      if (dx * dx + dy * dy + dz * dz < 1e-12) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+  // No overlapping atoms created at the composition plane.
+  EXPECT_GT(twin.min_distance(), 0.4);
+}
+
+}  // namespace
+}  // namespace dftfe::atoms

@@ -1,0 +1,196 @@
+// Tests for the domain-decomposition layer: slab partitioning, interface
+// bookkeeping, FP64/FP32 wire exchanges (byte accounting, rounding behavior),
+// and asynchronous overlap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dd/exchange.hpp"
+#include "dd/pipeline.hpp"
+#include "dd/partition.hpp"
+#include "fe/dofs.hpp"
+#include "fe/mesh.hpp"
+
+namespace dftfe::dd {
+namespace {
+
+fe::Mesh test_mesh(bool periodic) { return fe::make_uniform_mesh(4.0, 3, periodic); }
+
+TEST(SlabPartition, CoversAllPlanesWithoutOverlap) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  for (int nranks : {1, 2, 3, 4, 7}) {
+    SlabPartition part(dofh, nranks);
+    index_t covered = 0;
+    for (int r = 0; r < part.nranks(); ++r) {
+      const Slab& s = part.slab(r);
+      EXPECT_LE(s.z_begin, s.z_end);
+      covered += s.z_end - s.z_begin;
+      if (r > 0) EXPECT_EQ(part.slab(r - 1).z_end, s.z_begin);
+    }
+    EXPECT_EQ(covered, part.nplanes());
+  }
+}
+
+TEST(SlabPartition, InterfaceCountMatchesRankCount) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 4);
+  EXPECT_EQ(part.interface_planes().size(), 3u);  // nranks - 1, non-periodic
+  const auto pmesh = test_mesh(true);
+  fe::DofHandler pdofh(pmesh, 3);
+  SlabPartition ppart(pdofh, 4);
+  EXPECT_EQ(ppart.interface_planes().size(), 4u);  // + periodic wrap
+}
+
+TEST(SlabPartition, MoreRanksThanPlanesIsClamped) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 2);  // 7 planes
+  SlabPartition part(dofh, 100);
+  EXPECT_LE(part.nranks(), static_cast<int>(part.nplanes()));
+  for (int r = 0; r < part.nranks(); ++r)
+    EXPECT_GE(part.slab(r).z_end - part.slab(r).z_begin, 1);
+}
+
+TEST(SlabPartition, PlaneRangesAreContiguous) {
+  const auto mesh = test_mesh(true);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 3);
+  const auto [lo, hi] = part.plane_range(2);
+  EXPECT_EQ(lo, 2 * part.plane_size());
+  EXPECT_EQ(hi - lo, part.plane_size());
+  EXPECT_EQ(part.plane_size(), dofh.naxis(0) * dofh.naxis(1));
+}
+
+TEST(BoundaryExchange, Fp64WireIsLossless) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 3);
+  BoundaryExchange<double> ex(part, Wire::fp64);
+  la::Matrix<double> X(dofh.ndofs(), 4);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.37 * i) * 1e3;
+  la::Matrix<double> X0 = X;
+  ex.exchange(X);
+  EXPECT_EQ(la::max_abs_diff(X, X0), 0.0);
+  EXPECT_GT(ex.stats().bytes, 0);
+  EXPECT_EQ(ex.stats().messages, 2 * 2);  // 2 interfaces, send+recv each
+}
+
+TEST(BoundaryExchange, Fp32WireRoundsOnlyInterfacePlanes) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 2);
+  BoundaryExchange<double> ex(part, Wire::fp32);
+  la::Matrix<double> X(dofh.ndofs(), 3);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.37 * i) * 1e3;
+  la::Matrix<double> X0 = X;
+  ex.exchange(X);
+  // Interface plane entries are FP32-rounded...
+  const index_t z = part.interface_planes()[0];
+  const auto [lo, hi] = part.plane_range(z);
+  double max_rel = 0.0;
+  bool any_changed = false;
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = lo; i < hi; ++i) {
+      if (X(i, j) != X0(i, j)) any_changed = true;
+      max_rel = std::max(max_rel, std::abs(X(i, j) - X0(i, j)) /
+                                      std::max(1.0, std::abs(X0(i, j))));
+    }
+  EXPECT_TRUE(any_changed);
+  EXPECT_LT(max_rel, 1e-6);  // FP32 epsilon-level rounding, no worse
+  // ...and everything outside interface planes is untouched.
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < lo; ++i) EXPECT_EQ(X(i, j), X0(i, j));
+}
+
+TEST(BoundaryExchange, Fp32HalvesWireBytes) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 3);
+  BoundaryExchange<double> ex64(part, Wire::fp64);
+  BoundaryExchange<double> ex32(part, Wire::fp32);
+  la::Matrix<double> X(dofh.ndofs(), 8);
+  ex64.exchange(X);
+  ex32.exchange(X);
+  EXPECT_EQ(ex64.stats().bytes, 2 * ex32.stats().bytes);
+}
+
+TEST(BoundaryExchange, ComplexWireSupported) {
+  const auto mesh = test_mesh(true);
+  fe::DofHandler dofh(mesh, 2);
+  SlabPartition part(dofh, 2);
+  BoundaryExchange<complex_t> ex(part, Wire::fp32);
+  la::Matrix<complex_t> X(dofh.ndofs(), 2);
+  for (index_t i = 0; i < X.size(); ++i)
+    X.data()[i] = complex_t(std::sin(0.1 * i), std::cos(0.2 * i));
+  la::Matrix<complex_t> X0 = X;
+  ex.exchange(X);
+  EXPECT_LT(la::max_abs_diff(X, X0), 1e-6);
+}
+
+TEST(BoundaryExchange, ModeledTimeMatchesInterconnectModel) {
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 4);
+  SlabPartition part(dofh, 4);
+  CommModel model;
+  model.bandwidth_bytes_per_s = 1e8;
+  model.latency_s = 1e-5;
+  BoundaryExchange<double> ex(part, Wire::fp64, model);
+  la::Matrix<double> X(dofh.ndofs(), 16);
+  const double modeled = ex.exchange(X);
+  EXPECT_NEAR(modeled,
+              ex.stats().messages * model.latency_s +
+                  static_cast<double>(ex.stats().bytes) / model.bandwidth_bytes_per_s,
+              1e-12);
+  EXPECT_DOUBLE_EQ(modeled, ex.stats().modeled_seconds);
+}
+
+TEST(CommModelTest, AllreduceScalesLogarithmically) {
+  CommModel model;
+  model.bandwidth_bytes_per_s = 1e9;
+  model.latency_s = 1e-6;
+  EXPECT_DOUBLE_EQ(model.allreduce_time(1000, 1), 0.0);
+  const double t2 = model.allreduce_time(1000, 2);
+  const double t8 = model.allreduce_time(1000, 8);
+  const double t1024 = model.allreduce_time(1000, 1024);
+  EXPECT_NEAR(t8, 3.0 * t2, 1e-12);
+  EXPECT_NEAR(t1024, 10.0 * t2, 1e-12);
+}
+
+TEST(Pipeline, SyncIsSumOfComputeAndComm) {
+  std::vector<BlockTiming> blocks{{1.0, 0.5}, {2.0, 0.5}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(simulate_sync(blocks), 6.0);
+}
+
+TEST(Pipeline, OverlapHidesCommBehindCompute) {
+  // Comm always shorter than the next block's compute: only the last
+  // exchange is exposed.
+  std::vector<BlockTiming> blocks{{1.0, 0.4}, {1.0, 0.4}, {1.0, 0.4}};
+  EXPECT_DOUBLE_EQ(simulate_overlap(blocks), 3.4);
+  EXPECT_DOUBLE_EQ(simulate_sync(blocks), 4.2);
+}
+
+TEST(Pipeline, CommBoundScheduleSerializesOnCommLane) {
+  // Comm dominates: the comm lane is the bottleneck after the first compute.
+  std::vector<BlockTiming> blocks{{0.1, 1.0}, {0.1, 1.0}, {0.1, 1.0}};
+  EXPECT_DOUBLE_EQ(simulate_overlap(blocks), 0.1 + 3.0);
+}
+
+TEST(Pipeline, OverlapNeverSlowerThanSyncNorFasterThanBounds) {
+  std::vector<BlockTiming> blocks;
+  for (int k = 0; k < 20; ++k)
+    blocks.push_back({0.1 + 0.05 * (k % 3), 0.02 + 0.07 * (k % 5)});
+  const double sync = simulate_sync(blocks);
+  const double async = simulate_overlap(blocks);
+  double csum = 0.0, msum = 0.0;
+  for (auto& b : blocks) {
+    csum += b.compute;
+    msum += b.comm;
+  }
+  EXPECT_LE(async, sync + 1e-12);
+  EXPECT_GE(async, std::max(csum, msum) - 1e-12);
+}
+
+}  // namespace
+}  // namespace dftfe::dd

@@ -1,0 +1,469 @@
+// Tests for the spectral finite-element substrate: GLL quadrature, shape
+// functions, meshes, DoF handling, cell-level stiffness application (real and
+// Bloch-twisted complex), and the Poisson solver against analytic solutions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fe/cell_ops.hpp"
+#include "fe/dofs.hpp"
+#include "fe/gll.hpp"
+#include "fe/mesh.hpp"
+#include "fe/poisson.hpp"
+
+namespace dftfe::fe {
+namespace {
+
+// ---------- GLL / quadrature ----------
+
+TEST(Gll, TwoAndThreePointNodesAreKnown) {
+  const auto x2 = gll_nodes(2);
+  EXPECT_DOUBLE_EQ(x2[0], -1.0);
+  EXPECT_DOUBLE_EQ(x2[1], 1.0);
+  const auto x3 = gll_nodes(3);
+  EXPECT_NEAR(x3[1], 0.0, 1e-14);
+  const auto w3 = gll_weights(x3);
+  EXPECT_NEAR(w3[0], 1.0 / 3.0, 1e-14);
+  EXPECT_NEAR(w3[1], 4.0 / 3.0, 1e-14);
+  const auto x5 = gll_nodes(5);
+  EXPECT_NEAR(x5[1], -std::sqrt(3.0 / 7.0), 1e-13);  // known GLL-5 interior node
+}
+
+class QuadratureOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureOrder, GllWeightsSumToTwoAndNodesAscend) {
+  const int n = GetParam();
+  const auto x = gll_nodes(n);
+  const auto w = gll_weights(x);
+  double s = 0.0;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    s += v;
+  }
+  EXPECT_NEAR(s, 2.0, 1e-12);
+  for (int i = 1; i < n; ++i) EXPECT_GT(x[i], x[i - 1]);
+  EXPECT_DOUBLE_EQ(x.front(), -1.0);
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);
+}
+
+TEST_P(QuadratureOrder, GllExactToDegree2nMinus3) {
+  const int n = GetParam();
+  const auto x = gll_nodes(n);
+  const auto w = gll_weights(x);
+  for (int deg = 0; deg <= 2 * n - 3; ++deg) {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) s += w[i] * std::pow(x[i], deg);
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "n=" << n << " deg=" << deg;
+  }
+}
+
+TEST_P(QuadratureOrder, GaussLegendreExactToDegree2nMinus1) {
+  const int n = GetParam();
+  std::vector<double> x, w;
+  gauss_legendre(n, x, w);
+  for (int deg = 0; deg <= 2 * n - 1; ++deg) {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) s += w[i] * std::pow(x[i], deg);
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(s, exact, 1e-12) << "n=" << n << " deg=" << deg;
+  }
+}
+
+TEST_P(QuadratureOrder, DerivativeMatrixDifferentiatesPolynomials) {
+  const int n = GetParam();
+  const auto x = gll_nodes(n);
+  const auto D = gll_derivative_matrix(x);
+  for (int deg = 0; deg < n; ++deg) {
+    for (int i = 0; i < n; ++i) {
+      double der = 0.0;
+      for (int j = 0; j < n; ++j) der += D(i, j) * std::pow(x[j], deg);
+      const double exact = deg == 0 ? 0.0 : deg * std::pow(x[i], deg - 1);
+      EXPECT_NEAR(der, exact, 1e-10) << "n=" << n << " deg=" << deg;
+    }
+  }
+}
+
+TEST_P(QuadratureOrder, LagrangeBasisPartitionOfUnityAndDelta) {
+  const int n = GetParam();
+  const auto x = gll_nodes(n);
+  for (double pt : {-0.9, -0.3, 0.123, 0.77}) {
+    const auto l = lagrange_eval(x, pt);
+    double s = 0.0;
+    for (double v : l) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto l = lagrange_eval(x, x[i]);
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(l[j], i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST_P(QuadratureOrder, ReferenceStiffnessSymmetricWithZeroRowSums) {
+  const int n = GetParam();
+  const auto K = reference_stiffness_1d(n);
+  for (int i = 0; i < n; ++i) {
+    double rs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(K(i, j), K(j, i), 1e-12);
+      rs += K(i, j);
+    }
+    EXPECT_NEAR(rs, 0.0, 1e-10);  // gradients annihilate constants
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, QuadratureOrder, ::testing::Values(2, 3, 4, 5, 7, 9));
+
+TEST(Gll, LinearElementStiffnessIsKnown) {
+  const auto K = reference_stiffness_1d(2);
+  EXPECT_NEAR(K(0, 0), 0.5, 1e-14);
+  EXPECT_NEAR(K(0, 1), -0.5, 1e-14);
+}
+
+// ---------- mesh ----------
+
+TEST(Mesh, UniformAxisHasEqualCells) {
+  const Axis a = make_uniform_axis(10.0, 5);
+  EXPECT_EQ(a.ncells(), 5);
+  EXPECT_DOUBLE_EQ(a.length(), 10.0);
+  for (index_t c = 0; c < 5; ++c) EXPECT_NEAR(a.cell_size(c), 2.0, 1e-14);
+}
+
+TEST(Mesh, GradedAxisRefinesWindowWithFewDistinctSizes) {
+  const Axis a = make_graded_axis(20.0, 10.0, 3.0, 0.5, 2.5);
+  EXPECT_NEAR(a.length(), 20.0, 1e-12);
+  std::set<long> sizes;
+  double hmin = 1e9, hmax = 0;
+  for (index_t c = 0; c < a.ncells(); ++c) {
+    const double h = a.cell_size(c);
+    sizes.insert(std::lround(h * 1e9));
+    hmin = std::min(hmin, h);
+    hmax = std::max(hmax, h);
+  }
+  EXPECT_LE(sizes.size(), 3u);  // quantized grading
+  EXPECT_LE(hmin, 0.51);
+  EXPECT_GE(hmax, 1.5);
+  for (index_t c = 1; c <= a.ncells(); ++c) EXPECT_GT(a.nodes[c], a.nodes[c - 1]);
+}
+
+TEST(Mesh, CellIndexingRoundTrips) {
+  const Mesh m(make_uniform_axis(4, 2), make_uniform_axis(6, 3), make_uniform_axis(8, 4));
+  EXPECT_EQ(m.ncells_total(), 24);
+  for (index_t c = 0; c < m.ncells_total(); ++c) {
+    const auto cc = m.cell_coords(c);
+    EXPECT_EQ(m.cell_index(cc[0], cc[1], cc[2]), c);
+  }
+  EXPECT_DOUBLE_EQ(m.volume(), 4.0 * 6.0 * 8.0);
+}
+
+// ---------- DoF handler ----------
+
+TEST(DofHandler, CountsDofsPeriodicAndDirichlet) {
+  const index_t nc = 3;
+  const int p = 4;
+  {
+    const Mesh m = make_uniform_mesh(6.0, nc, /*periodic=*/false);
+    DofHandler dofh(m, p);
+    const index_t na = nc * p + 1;
+    EXPECT_EQ(dofh.ndofs(), na * na * na);
+    EXPECT_EQ(static_cast<index_t>(dofh.boundary_dofs().size()),
+              na * na * na - (na - 2) * (na - 2) * (na - 2));
+  }
+  {
+    const Mesh m = make_uniform_mesh(6.0, nc, /*periodic=*/true);
+    DofHandler dofh(m, p);
+    const index_t na = nc * p;
+    EXPECT_EQ(dofh.ndofs(), na * na * na);
+    EXPECT_TRUE(dofh.boundary_dofs().empty());
+  }
+}
+
+TEST(DofHandler, MassSumsToVolume) {
+  for (bool periodic : {false, true}) {
+    const Mesh m(make_uniform_axis(3.0, 2, periodic), make_graded_axis(5.0, 2.5, 1.0, 0.4, 1.2, periodic),
+                 make_uniform_axis(4.0, 3, periodic));
+    DofHandler dofh(m, 3);
+    double s = 0.0;
+    for (double v : dofh.mass()) s += v;
+    EXPECT_NEAR(s, m.volume(), 1e-9);
+  }
+}
+
+TEST(DofHandler, IntegratesPolynomialExactly) {
+  const Mesh m = make_uniform_mesh(2.0, 2, false);
+  DofHandler dofh(m, 4);
+  std::vector<double> f(dofh.ndofs());
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const auto p = dofh.dof_point(g);
+    f[g] = p[0] * p[0] * p[1] + p[2];  // low-degree polynomial
+  }
+  // \int_0^2\int_0^2\int_0^2 (x^2 y + z) = (8/3)(2)(2) + (2)(2)(2) = 32/3 + 8
+  EXPECT_NEAR(dofh.integrate(f), 32.0 / 3.0 + 8.0, 1e-10);
+}
+
+TEST(DofHandler, EvaluateInterpolatesExactlyAtNodesAndPolynomials) {
+  const Mesh m = make_uniform_mesh(2.0, 2, false);
+  DofHandler dofh(m, 3);
+  std::vector<double> f(dofh.ndofs());
+  auto func = [](double x, double y, double z) { return 1.0 + x + x * y + z * z; };
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const auto p = dofh.dof_point(g);
+    f[g] = func(p[0], p[1], p[2]);
+  }
+  EXPECT_NEAR(dofh.evaluate(f, 0.37, 1.21, 0.83), func(0.37, 1.21, 0.83), 1e-11);
+  EXPECT_NEAR(dofh.evaluate(f, 0.0, 0.0, 0.0), func(0, 0, 0), 1e-11);
+  EXPECT_NEAR(dofh.evaluate(f, 2.0, 2.0, 2.0), func(2, 2, 2), 1e-11);
+}
+
+TEST(DofHandler, CellDofsSharedBetweenNeighbors) {
+  const Mesh m = make_uniform_mesh(2.0, 2, false);
+  DofHandler dofh(m, 2);
+  std::vector<index_t> d0, d1;
+  dofh.cell_dofs(m.cell_index(0, 0, 0), d0);
+  dofh.cell_dofs(m.cell_index(1, 0, 0), d1);
+  // Right face of cell 0 == left face of cell 1 (continuity).
+  const int n = 3;
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      EXPECT_EQ(d0[(n - 1) + n * (j + n * k)], d1[0 + n * (j + n * k)]);
+}
+
+TEST(DofHandler, PeriodicWrapsDofs) {
+  const Mesh m = make_uniform_mesh(2.0, 2, true);
+  DofHandler dofh(m, 2);
+  std::vector<index_t> d1;
+  dofh.cell_dofs(m.cell_index(1, 0, 0), d1);
+  const int n = 3;
+  // Right face of the last cell wraps to axis dof 0.
+  EXPECT_EQ(d1[n - 1] % dofh.naxis(0), 0);
+}
+
+// ---------- cell-level stiffness ----------
+
+TEST(CellStiffness, AnnihilatesConstants) {
+  const Mesh m = make_uniform_mesh(3.0, 2, true);
+  DofHandler dofh(m, 3);
+  CellStiffness<double> K(dofh, 1.0);
+  std::vector<double> u(dofh.ndofs(), 1.0), y(dofh.ndofs(), 0.0);
+  K.apply_add(u, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(CellStiffness, QuadraticFormEqualsDirichletEnergy) {
+  // u = x on a non-periodic box: int |grad u|^2 = V.
+  const Mesh m(make_uniform_axis(2.0, 2), make_uniform_axis(3.0, 2), make_uniform_axis(1.5, 3));
+  DofHandler dofh(m, 4);
+  CellStiffness<double> K(dofh, 1.0);
+  std::vector<double> u(dofh.ndofs()), y(dofh.ndofs(), 0.0);
+  for (index_t g = 0; g < dofh.ndofs(); ++g) u[g] = dofh.dof_point(g)[0];
+  K.apply_add(u, y);
+  double energy = 0.0;
+  for (index_t g = 0; g < dofh.ndofs(); ++g) energy += u[g] * y[g];
+  EXPECT_NEAR(energy, m.volume(), 1e-9);
+}
+
+TEST(CellStiffness, MatchesQuadraticFormForSmoothField) {
+  // u = sin(2 pi x / L) on a periodic box: int |grad u|^2 = (2pi/L)^2 V / 2.
+  const double L = 4.0;
+  const Mesh m = make_uniform_mesh(L, 3, true);
+  DofHandler dofh(m, 6);
+  CellStiffness<double> K(dofh, 1.0);
+  std::vector<double> u(dofh.ndofs()), y(dofh.ndofs(), 0.0);
+  const double g0 = 2.0 * kPi / L;
+  for (index_t g = 0; g < dofh.ndofs(); ++g) u[g] = std::sin(g0 * dofh.dof_point(g)[0]);
+  K.apply_add(u, y);
+  double energy = 0.0;
+  for (index_t g = 0; g < dofh.ndofs(); ++g) energy += u[g] * y[g];
+  EXPECT_NEAR(energy, g0 * g0 * m.volume() / 2.0, 1e-6 * m.volume());
+}
+
+TEST(CellStiffness, BlockApplyMatchesColumnwiseApply) {
+  const Mesh m(make_uniform_axis(2.0, 2), make_graded_axis(3.0, 1.5, 0.5, 0.3, 1.0),
+               make_uniform_axis(2.0, 2));
+  DofHandler dofh(m, 3);
+  CellStiffness<double> K(dofh, 0.5);
+  const index_t n = dofh.ndofs(), B = 5;
+  la::Matrix<double> X(n, B), Y(n, B);
+  for (index_t j = 0; j < B; ++j)
+    for (index_t i = 0; i < n; ++i) X(i, j) = std::sin(0.1 * i + j);
+  K.apply_add(X, Y);
+  for (index_t j = 0; j < B; ++j) {
+    std::vector<double> x(n), y(n, 0.0);
+    for (index_t i = 0; i < n; ++i) x[i] = X(i, j);
+    K.apply_add(x, y);
+    for (index_t i = 0; i < n; ++i) EXPECT_NEAR(Y(i, j), y[i], 1e-10);
+  }
+}
+
+TEST(CellStiffness, SmallChunkSizeGivesSameAnswer) {
+  const Mesh m = make_uniform_mesh(2.0, 3, true);
+  DofHandler dofh(m, 2);
+  CellStiffness<double> K1(dofh, 1.0), K2(dofh, 1.0);
+  K2.set_chunk_cells(2);
+  const index_t n = dofh.ndofs();
+  la::Matrix<double> X(n, 3), Y1(n, 3), Y2(n, 3);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::cos(0.3 * i);
+  K1.apply_add(X, Y1);
+  K2.apply_add(X, Y2);
+  EXPECT_LT(la::max_abs_diff(Y1, Y2), 1e-11);
+}
+
+TEST(CellStiffness, ComplexKpointOperatorIsHermitianAndShiftsConstants) {
+  const double L = 3.0;
+  const Mesh m = make_uniform_mesh(L, 2, true);
+  DofHandler dofh(m, 3);
+  const std::array<double, 3> kpt{0.4, -0.2, 0.1};
+  CellStiffness<complex_t> T(dofh, 0.5, kpt);
+  const index_t n = dofh.ndofs();
+  // Constant Bloch function u = 1: T u = |k|^2/2 * M u (mass-weighted).
+  std::vector<complex_t> u(n, complex_t(1.0, 0.0)), y(n, complex_t(0.0));
+  T.apply_add(u, y);
+  const double k2 = 0.5 * (kpt[0] * kpt[0] + kpt[1] * kpt[1] + kpt[2] * kpt[2]);
+  const auto& mass = dofh.mass();
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), k2 * mass[i], 1e-10);
+    EXPECT_NEAR(y[i].imag(), 0.0, 1e-10);
+  }
+  // Hermiticity: <x, T y> == conj(<y, T x>).
+  std::vector<complex_t> a(n), b(n), Ta(n, complex_t(0)), Tb(n, complex_t(0));
+  for (index_t i = 0; i < n; ++i) {
+    a[i] = complex_t(std::sin(0.2 * i), std::cos(0.11 * i));
+    b[i] = complex_t(std::cos(0.07 * i), std::sin(0.13 * i));
+  }
+  T.apply_add(a, Ta);
+  T.apply_add(b, Tb);
+  complex_t xTy{}, yTx{};
+  for (index_t i = 0; i < n; ++i) {
+    xTy += std::conj(a[i]) * Tb[i];
+    yTx += std::conj(b[i]) * Ta[i];
+  }
+  EXPECT_NEAR(xTy.real(), yTx.real(), 1e-8);
+  EXPECT_NEAR(xTy.imag(), -yTx.imag(), 1e-8);
+}
+
+TEST(CellStiffness, GroupsCollapseOnUniformMesh) {
+  const Mesh m = make_uniform_mesh(2.0, 4, true);
+  DofHandler dofh(m, 2);
+  CellStiffness<double> K(dofh, 1.0);
+  EXPECT_EQ(K.ngroups(), 1);  // all 64 cells share one dense matrix
+}
+
+
+TEST(CellStiffness, SumFactorizationMatchesDenseApply) {
+  // Both operator paths are exact: dense per-cell GEMM vs tensor
+  // contractions must agree to round-off, including on graded meshes.
+  const Mesh m(make_uniform_axis(2.0, 2), make_graded_axis(3.0, 1.5, 0.5, 0.3, 1.0),
+               make_uniform_axis(2.5, 3, true));
+  for (int p : {2, 3, 5}) {
+    DofHandler dofh(m, p);
+    CellStiffness<double> K(dofh, 0.5);
+    ASSERT_TRUE(K.supports_sumfac());
+    const index_t n = dofh.ndofs(), B = 4;
+    la::Matrix<double> X(n, B), Y1(n, B), Y2(n, B);
+    for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.05 * i) + 0.2;
+    K.apply_add(X, Y1);
+    K.apply_add_sumfac(X, Y2);
+    EXPECT_LT(la::max_abs_diff(Y1, Y2), 1e-11) << "p=" << p;
+  }
+}
+
+TEST(CellStiffness, SumFactorizationComplexGammaMatchesDense) {
+  const Mesh m = make_uniform_mesh(3.0, 2, true);
+  DofHandler dofh(m, 3);
+  CellStiffness<complex_t> K(dofh, 0.5);
+  const index_t n = dofh.ndofs();
+  la::Matrix<complex_t> X(n, 2), Y1(n, 2), Y2(n, 2);
+  for (index_t i = 0; i < X.size(); ++i)
+    X.data()[i] = complex_t(std::sin(0.1 * i), std::cos(0.07 * i));
+  K.apply_add(X, Y1);
+  K.apply_add_sumfac(X, Y2);
+  EXPECT_LT(la::max_abs_diff(Y1, Y2), 1e-11);
+}
+
+TEST(CellStiffness, SumFactorizationRejectsBlochOperator) {
+  const Mesh m = make_uniform_mesh(3.0, 2, true);
+  DofHandler dofh(m, 2);
+  CellStiffness<complex_t> K(dofh, 0.5, {0.3, 0.0, 0.0});
+  EXPECT_FALSE(K.supports_sumfac());
+  la::Matrix<complex_t> X(dofh.ndofs(), 1), Y(dofh.ndofs(), 1);
+  EXPECT_THROW(K.apply_add_sumfac(X, Y), std::logic_error);
+}
+// ---------- Poisson ----------
+
+TEST(Poisson, PeriodicCosineChargeHasAnalyticPotential) {
+  // rho = cos(G x) => phi = (4 pi / G^2) cos(G x).
+  const double L = 5.0;
+  const Mesh m = make_uniform_mesh(L, 3, true);
+  DofHandler dofh(m, 5);
+  PoissonSolver poisson(dofh);
+  const double G = 2.0 * kPi / L;
+  std::vector<double> rho(dofh.ndofs()), phi;
+  for (index_t g = 0; g < dofh.ndofs(); ++g)
+    rho[g] = std::cos(G * dofh.dof_point(g)[0]);
+  auto rep = poisson.solve(rho, phi, 1e-10);
+  EXPECT_TRUE(rep.converged);
+  double maxerr = 0.0;
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const double exact = 4.0 * kPi / (G * G) * std::cos(G * dofh.dof_point(g)[0]);
+    maxerr = std::max(maxerr, std::abs(phi[g] - exact));
+  }
+  EXPECT_LT(maxerr, 2e-4);
+}
+
+TEST(Poisson, IsolatedGaussianChargeMatchesErfPotential) {
+  // rho = q * exp(-r^2/rc^2) / (pi^{3/2} rc^3) => phi = q * erf(r/rc) / r.
+  const double L = 16.0, rc = 1.0, q = 3.0;
+  const Mesh m = make_uniform_mesh(L, 4, false);
+  DofHandler dofh(m, 5);
+  PoissonSolver poisson(dofh);
+  EXPECT_FALSE(poisson.periodic());
+  const double c = L / 2.0;
+  std::vector<double> rho(dofh.ndofs()), phi;
+  const double norm = q / (std::pow(kPi, 1.5) * rc * rc * rc);
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const auto p = dofh.dof_point(g);
+    const double r2 = (p[0] - c) * (p[0] - c) + (p[1] - c) * (p[1] - c) + (p[2] - c) * (p[2] - c);
+    rho[g] = norm * std::exp(-r2 / (rc * rc));
+  }
+  auto rep = poisson.solve(rho, phi, 1e-10);
+  EXPECT_TRUE(rep.converged);
+  // Compare at a few interior points (off-node via evaluate()).
+  for (double r : {0.8, 1.7, 3.1, 5.0}) {
+    const double exact = q * std::erf(r / rc) / r;
+    const double num = dofh.evaluate(phi, c + r, c, c);
+    EXPECT_NEAR(num, exact, 4e-3 * q) << "r=" << r;
+  }
+}
+
+class PoissonConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoissonConvergence, ErrorDecreasesWithPolynomialDegree) {
+  // Spectral convergence in p for a smooth periodic charge.
+  const double L = 5.0;
+  const double G = 2.0 * kPi / L;
+  auto solve_err = [&](int p) {
+    const Mesh m = make_uniform_mesh(L, 2, true);
+    DofHandler dofh(m, p);
+    PoissonSolver poisson(dofh);
+    std::vector<double> rho(dofh.ndofs()), phi;
+    for (index_t g = 0; g < dofh.ndofs(); ++g)
+      rho[g] = std::cos(G * dofh.dof_point(g)[0]) * std::cos(G * dofh.dof_point(g)[1]);
+    poisson.solve(rho, phi, 1e-12);
+    double err = 0.0;
+    for (index_t g = 0; g < dofh.ndofs(); ++g) {
+      const auto pt = dofh.dof_point(g);
+      const double exact = 4.0 * kPi / (2.0 * G * G) * std::cos(G * pt[0]) * std::cos(G * pt[1]);
+      err = std::max(err, std::abs(phi[g] - exact));
+    }
+    return err;
+  };
+  const int p = GetParam();
+  EXPECT_LT(solve_err(p + 2), solve_err(p) * 0.5) << "no p-convergence from degree " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PoissonConvergence, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace dftfe::fe

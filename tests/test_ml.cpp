@@ -1,0 +1,225 @@
+// Tests for the MLP substrate: forward evaluation, input gradients vs finite
+// differences, parameter gradients (including the double-backprop path used
+// by the rho*v_xc loss) vs finite differences, Adam training convergence,
+// and serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "ml/mlp.hpp"
+
+namespace dftfe::ml {
+namespace {
+
+la::MatrixD random_batch(int nin, int batch, unsigned seed) {
+  Rng rng(seed);
+  la::MatrixD X(nin, batch);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = rng.uniform(-1.5, 1.5);
+  return X;
+}
+
+TEST(Mlp, ForwardMatchesManualTinyNetwork) {
+  // 1-2-1 network, hand-set weights: y = w2 . elu(w1 x + b1) + b2.
+  Mlp net({1, 2, 1}, 3);
+  net.weights(0)(0, 0) = 0.5;
+  net.weights(0)(1, 0) = -1.0;
+  net.biases(0) = {0.1, 0.2};
+  net.weights(1)(0, 0) = 2.0;
+  net.weights(1)(0, 1) = -3.0;
+  net.biases(1) = {0.05};
+  la::MatrixD X(1, 1);
+  X(0, 0) = 0.7;
+  const double z1 = 0.5 * 0.7 + 0.1, z2 = -1.0 * 0.7 + 0.2;
+  const double expected = 2.0 * elu(z1) - 3.0 * elu(z2) + 0.05;
+  EXPECT_NEAR(net.forward(X)[0], expected, 1e-14);
+}
+
+TEST(Mlp, EluPieces) {
+  EXPECT_DOUBLE_EQ(elu(2.0), 2.0);
+  EXPECT_NEAR(elu(-1.0), std::exp(-1.0) - 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(elu_d1(0.5), 1.0);
+  EXPECT_NEAR(elu_d1(-0.5), std::exp(-0.5), 1e-15);
+  EXPECT_DOUBLE_EQ(elu_d2(0.5), 0.0);
+  EXPECT_NEAR(elu_d2(-0.5), std::exp(-0.5), 1e-15);
+}
+
+TEST(Mlp, InputGradientsMatchFiniteDifferences) {
+  Mlp net({3, 10, 8, 1}, 11);
+  la::MatrixD X = random_batch(3, 7, 21);
+  const la::MatrixD G = net.input_gradients(X);
+  const double h = 1e-6;
+  for (index_t b = 0; b < 7; ++b)
+    for (int i = 0; i < 3; ++i) {
+      la::MatrixD Xp = X, Xm = X;
+      Xp(i, b) += h;
+      Xm(i, b) -= h;
+      const double fd = (net.forward(Xp)[b] - net.forward(Xm)[b]) / (2 * h);
+      EXPECT_NEAR(G(i, b), fd, 1e-6 * (1.0 + std::abs(fd)));
+    }
+}
+
+TEST(Mlp, OutputLossParameterGradientsMatchFiniteDifferences) {
+  // L = sum_b (y_b - t_b)^2; check dL/dW numerically.
+  Mlp net({2, 6, 5, 1}, 5);
+  la::MatrixD X = random_batch(2, 9, 31);
+  std::vector<double> target(9);
+  for (int b = 0; b < 9; ++b) target[b] = std::sin(b * 0.3);
+
+  auto loss = [&](Mlp& m) {
+    const auto y = m.forward(X);
+    double L = 0.0;
+    for (int b = 0; b < 9; ++b) L += (y[b] - target[b]) * (y[b] - target[b]);
+    return L;
+  };
+  auto grads = net.zero_gradients();
+  const auto y = net.forward(X);
+  std::vector<double> gy(9);
+  for (int b = 0; b < 9; ++b) gy[b] = 2.0 * (y[b] - target[b]);
+  net.accumulate_gradients(X, gy, la::MatrixD(), grads);
+
+  const double h = 1e-6;
+  for (int l = 0; l < net.n_layers(); ++l) {
+    for (index_t idx = 0; idx < std::min<index_t>(net.weights(l).size(), 10); ++idx) {
+      const double w0 = net.weights(l).data()[idx];
+      net.weights(l).data()[idx] = w0 + h;
+      const double lp = loss(net);
+      net.weights(l).data()[idx] = w0 - h;
+      const double lm = loss(net);
+      net.weights(l).data()[idx] = w0;
+      const double fd = (lp - lm) / (2 * h);
+      EXPECT_NEAR(grads.dW[l].data()[idx], fd, 1e-5 * (1.0 + std::abs(fd)))
+          << "layer " << l << " idx " << idx;
+    }
+  }
+}
+
+TEST(Mlp, DoubleBackpropGradientsMatchFiniteDifferences) {
+  // L = sum_b sum_i V(i,b) * g(i,b) where g = dy/dx: linear in the input
+  // gradients, exercising the double-backprop path exactly as the rho*v_xc
+  // loss does. Check dL/dW and dL/db numerically.
+  Mlp net({3, 7, 6, 1}, 13);
+  la::MatrixD X = random_batch(3, 5, 41);
+  la::MatrixD V = random_batch(3, 5, 42);
+
+  auto loss = [&](Mlp& m) {
+    const la::MatrixD G = m.input_gradients(X);
+    double L = 0.0;
+    for (index_t b = 0; b < 5; ++b)
+      for (int i = 0; i < 3; ++i) L += V(i, b) * G(i, b);
+    return L;
+  };
+  auto grads = net.zero_gradients();
+  net.accumulate_gradients(X, std::vector<double>(5, 0.0), V, grads);
+
+  const double h = 1e-6;
+  for (int l = 0; l < net.n_layers(); ++l) {
+    for (index_t idx = 0; idx < std::min<index_t>(net.weights(l).size(), 12); ++idx) {
+      const double w0 = net.weights(l).data()[idx];
+      net.weights(l).data()[idx] = w0 + h;
+      const double lp = loss(net);
+      net.weights(l).data()[idx] = w0 - h;
+      const double lm = loss(net);
+      net.weights(l).data()[idx] = w0;
+      const double fd = (lp - lm) / (2 * h);
+      EXPECT_NEAR(grads.dW[l].data()[idx], fd, 2e-5 * (1.0 + std::abs(fd)))
+          << "layer " << l << " idx " << idx;
+    }
+    for (std::size_t bi = 0; bi < std::min<std::size_t>(net.biases(l).size(), 6); ++bi) {
+      const double b0 = net.biases(l)[bi];
+      net.biases(l)[bi] = b0 + h;
+      const double lp = loss(net);
+      net.biases(l)[bi] = b0 - h;
+      const double lm = loss(net);
+      net.biases(l)[bi] = b0;
+      const double fd = (lp - lm) / (2 * h);
+      EXPECT_NEAR(grads.db[l][bi], fd, 2e-5 * (1.0 + std::abs(fd)))
+          << "layer " << l << " bias " << bi;
+    }
+  }
+}
+
+TEST(Mlp, CombinedOutputAndGradientLoss) {
+  // Both gy and V nonzero simultaneously (the composite MLXC loss shape).
+  Mlp net({2, 5, 1}, 17);
+  la::MatrixD X = random_batch(2, 4, 51);
+  la::MatrixD V = random_batch(2, 4, 52);
+  std::vector<double> gy{0.3, -0.7, 1.1, 0.2};
+
+  auto loss = [&](Mlp& m) {
+    const auto y = m.forward(X);
+    const la::MatrixD G = m.input_gradients(X);
+    double L = 0.0;
+    for (index_t b = 0; b < 4; ++b) {
+      L += gy[b] * y[b];
+      for (int i = 0; i < 2; ++i) L += V(i, b) * G(i, b);
+    }
+    return L;
+  };
+  auto grads = net.zero_gradients();
+  net.accumulate_gradients(X, gy, V, grads);
+  const double h = 1e-6;
+  for (int l = 0; l < net.n_layers(); ++l)
+    for (index_t idx = 0; idx < net.weights(l).size(); ++idx) {
+      const double w0 = net.weights(l).data()[idx];
+      net.weights(l).data()[idx] = w0 + h;
+      const double lp = loss(net);
+      net.weights(l).data()[idx] = w0 - h;
+      const double lm = loss(net);
+      net.weights(l).data()[idx] = w0;
+      EXPECT_NEAR(grads.dW[l].data()[idx], (lp - lm) / (2 * h), 2e-5);
+    }
+}
+
+TEST(Mlp, AdamLearnsSmoothFunction) {
+  // Regression on y = sin(2x) over [-1, 1].
+  Mlp net({1, 16, 16, 1}, 23);
+  const int n = 64;
+  la::MatrixD X(1, n);
+  std::vector<double> target(n);
+  for (int i = 0; i < n; ++i) {
+    X(0, i) = -1.0 + 2.0 * i / (n - 1);
+    target[i] = std::sin(2.0 * X(0, i));
+  }
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    auto grads = net.zero_gradients();
+    const auto y = net.forward(X);
+    std::vector<double> gy(n);
+    double L = 0.0;
+    for (int i = 0; i < n; ++i) {
+      gy[i] = 2.0 * (y[i] - target[i]) / n;
+      L += (y[i] - target[i]) * (y[i] - target[i]) / n;
+    }
+    if (epoch == 0) first_loss = L;
+    last_loss = L;
+    net.accumulate_gradients(X, gy, la::MatrixD(), grads);
+    net.adam_step(grads, 5e-3);
+  }
+  EXPECT_LT(last_loss, 1e-3);
+  EXPECT_LT(last_loss, first_loss * 1e-2);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp net({3, 8, 8, 1}, 29);
+  la::MatrixD X = random_batch(3, 6, 61);
+  const auto y0 = net.forward(X);
+  const std::string path = ::testing::TempDir() + "/mlp_roundtrip.txt";
+  net.save(path);
+  Mlp loaded = Mlp::load(path);
+  const auto y1 = loaded.forward(X);
+  for (int b = 0; b < 6; ++b) EXPECT_DOUBLE_EQ(y0[b], y1[b]);
+  std::remove(path.c_str());
+}
+
+TEST(Mlp, ParamCountMatchesArchitecture) {
+  Mlp net({3, 80, 80, 80, 80, 80, 1}, 1);  // the paper's 5x80 architecture
+  const index_t expected = (3 * 80 + 80) + 4 * (80 * 80 + 80) + (80 * 1 + 1);
+  EXPECT_EQ(net.n_params(), expected);
+  EXPECT_EQ(net.n_layers(), 6);
+}
+
+}  // namespace
+}  // namespace dftfe::ml

@@ -1,0 +1,243 @@
+// Tests for the XC functionals: LDA-PW92 values and consistency, PBE limits
+// and derivative consistency, MLXC structure (LDA recovery, potential via
+// back-propagation vs finite differences) and trainer behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xc/functional.hpp"
+#include "xc/lda.hpp"
+#include "xc/mlxc.hpp"
+#include "xc/pbe.hpp"
+
+namespace dftfe::xc {
+namespace {
+
+TEST(LdaPW92, DiracExchangeValue) {
+  LdaPW92 lda;
+  std::vector<double> rho{1.0}, sigma, exc, vrho, vsigma;
+  lda.evaluate(rho, sigma, exc, vrho, vsigma);
+  const double ex = kExLda;  // rho = 1
+  const auto [ec, dec] = pw92_ec(std::cbrt(3.0 / (4.0 * kPi)));
+  (void)dec;
+  EXPECT_NEAR(exc[0], ex + ec, 1e-12);
+  EXPECT_LT(exc[0], 0.0);
+}
+
+TEST(LdaPW92, CorrelationKnownHighAndLowDensityBehavior) {
+  // ec is negative, monotonically increasing toward 0 with rs.
+  double prev = -1e9;
+  for (double rs : {0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
+    const double ec = pw92_ec(rs).first;
+    EXPECT_LT(ec, 0.0);
+    EXPECT_GT(ec, prev);
+    prev = ec;
+  }
+  // Literature spot values for PW92 (zeta=0): ec(rs=1) ~ -0.0598, ec(rs=5) ~ -0.0281.
+  EXPECT_NEAR(pw92_ec(1.0).first, -0.0598, 5e-3);
+  EXPECT_NEAR(pw92_ec(5.0).first, -0.0281, 3e-3);
+}
+
+TEST(LdaPW92, DerivativeMatchesFiniteDifference) {
+  for (double rs : {0.3, 1.0, 4.0, 20.0}) {
+    const double h = 1e-6 * rs;
+    const double fd = (pw92_ec(rs + h).first - pw92_ec(rs - h).first) / (2 * h);
+    EXPECT_NEAR(pw92_ec(rs).second, fd, 1e-6 * std::abs(fd) + 1e-10);
+  }
+}
+
+TEST(LdaPW92, PotentialConsistentWithEnergyDensity) {
+  // vrho = d(rho exc)/drho via finite differences.
+  LdaPW92 lda;
+  for (double r : {0.01, 0.1, 1.0, 10.0}) {
+    std::vector<double> exc, vrho, vs, sigma;
+    lda.evaluate({r}, sigma, exc, vrho, vs);
+    const double h = 1e-6 * r;
+    std::vector<double> ep, em, tmp, tmp2;
+    lda.evaluate({r + h}, sigma, ep, tmp, tmp2);
+    lda.evaluate({r - h}, sigma, em, tmp, tmp2);
+    const double fd = ((r + h) * ep[0] - (r - h) * em[0]) / (2 * h);
+    EXPECT_NEAR(vrho[0], fd, 1e-5 * std::abs(fd));
+  }
+}
+
+TEST(GgaPbe, ReducesToLdaAtZeroGradient) {
+  LdaPW92 lda;
+  GgaPbe pbe;
+  std::vector<double> rho{0.02, 0.3, 2.5}, sigma{0.0, 0.0, 0.0};
+  std::vector<double> e1, v1, s1, e2, v2, s2;
+  lda.evaluate(rho, sigma, e1, v1, s1);
+  pbe.evaluate(rho, sigma, e2, v2, s2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(e1[i], e2[i], 1e-8);
+    EXPECT_NEAR(v1[i], v2[i], 1e-5);
+  }
+}
+
+TEST(GgaPbe, ExchangeEnhancementLimits) {
+  EXPECT_DOUBLE_EQ(pbe_fx(0.0), 1.0);
+  // Monotone increasing, bounded by 1 + kappa = 1.804.
+  double prev = 1.0;
+  for (double s2 : {0.1, 1.0, 10.0, 100.0, 1e4}) {
+    const double f = pbe_fx(s2);
+    EXPECT_GT(f, prev);
+    EXPECT_LT(f, 1.805);
+    prev = f;
+  }
+}
+
+TEST(GgaPbe, CorrelationHVanishesAtZeroGradientAndIsPositive) {
+  EXPECT_NEAR(pbe_h(0.5, 0.0), 0.0, 1e-14);
+  for (double t2 : {0.1, 1.0, 5.0}) EXPECT_GT(pbe_h(0.5, t2), 0.0);
+}
+
+TEST(GgaPbe, DerivativesConsistentWithEnergyDensity) {
+  GgaPbe pbe;
+  for (double r : {0.05, 0.7, 3.0}) {
+    for (double sg : {0.0, 0.01, 0.5, 4.0}) {
+      std::vector<double> exc, vrho, vsigma;
+      pbe.evaluate({r}, {sg}, exc, vrho, vsigma);
+      const double hr = 1e-5 * r;
+      const double fd_r =
+          (GgaPbe::energy_density(r + hr, sg) - GgaPbe::energy_density(r - hr, sg)) / (2 * hr);
+      EXPECT_NEAR(vrho[0], fd_r, 1e-4 * (std::abs(fd_r) + 0.1));
+      if (sg > 0) {
+        const double hs = 1e-5 * sg;
+        const double fd_s =
+            (GgaPbe::energy_density(r, sg + hs) - GgaPbe::energy_density(r, sg - hs)) /
+            (2 * hs);
+        EXPECT_NEAR(vsigma[0], fd_s, 1e-3 * (std::abs(fd_s) + 1e-4));
+      }
+    }
+  }
+}
+
+TEST(GgaPbe, EnergyPerParticleBelowLdaExchangeOnly) {
+  // PBE exchange enhancement makes exc more negative than LDA exchange.
+  GgaPbe pbe;
+  std::vector<double> exc, vrho, vsigma;
+  pbe.evaluate({1.0}, {1.0}, exc, vrho, vsigma);
+  EXPECT_LT(exc[0], kExLda);
+}
+
+// ---------- MLXC ----------
+
+TEST(Mlxc, ConstantFRecoversScaledDiracExchange) {
+  // A network with zero weights outputs F = b; pick b = 1 -> Dirac exchange.
+  ml::Mlp net({3, 4, 1}, 3);
+  for (int l = 0; l < net.n_layers(); ++l) {
+    net.weights(l).zero();
+    std::fill(net.biases(l).begin(), net.biases(l).end(), 0.0);
+  }
+  net.biases(net.n_layers() - 1)[0] = 1.0;
+  MlxcFunctional mlxc(std::move(net));
+  std::vector<double> rho{0.3, 1.7}, sigma{0.2, 1.0}, exc, vrho, vsigma;
+  mlxc.evaluate(rho, sigma, exc, vrho, vsigma);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(exc[i], kExLda * std::cbrt(rho[i]), 1e-12);
+    EXPECT_NEAR(vrho[i], (4.0 / 3.0) * kExLda * std::cbrt(rho[i]), 1e-12);
+    EXPECT_NEAR(vsigma[i], 0.0, 1e-12);
+  }
+}
+
+TEST(Mlxc, PotentialConsistentWithEnergyDensityViaFd) {
+  ml::Mlp net = MlxcFunctional::make_paper_network(2, 12, 9);
+  MlxcFunctional mlxc(std::move(net));
+  auto eden = [&](double r, double sg) {
+    std::vector<double> exc, vr, vs;
+    mlxc.evaluate({r}, {sg}, exc, vr, vs);
+    return r * exc[0];
+  };
+  for (double r : {0.1, 0.9, 4.0}) {
+    for (double sg : {0.01, 0.8}) {
+      std::vector<double> exc, vrho, vsigma;
+      mlxc.evaluate({r}, {sg}, exc, vrho, vsigma);
+      const double hr = 1e-6 * r;
+      const double fd_r = (eden(r + hr, sg) - eden(r - hr, sg)) / (2 * hr);
+      EXPECT_NEAR(vrho[0], fd_r, 1e-5 * (std::abs(fd_r) + 1.0));
+      const double hs = 1e-6 * sg;
+      const double fd_s = (eden(r, sg + hs) - eden(r, sg - hs)) / (2 * hs);
+      EXPECT_NEAR(vsigma[0], fd_s, 1e-5 * (std::abs(fd_s) + 1.0));
+    }
+  }
+}
+
+TEST(Mlxc, DescriptorsAreBoundedAndMonotone) {
+  double x[3];
+  MlxcFunctional::descriptors(1.0, 0.0, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+  double prev = -1.0;
+  for (double sg : {0.0, 0.1, 1.0, 100.0, 1e6}) {
+    MlxcFunctional::descriptors(0.5, sg, x);
+    EXPECT_GE(x[1], 0.0);
+    EXPECT_LT(x[1], 1.0);
+    EXPECT_GT(x[1], prev);
+    prev = x[1];
+  }
+}
+
+TEST(Mlxc, TrainerFitsLdaExchangePotential) {
+  // Target: v_xc of pure Dirac exchange (F = 1). Starting from a random
+  // network, the composite loss should drive F toward 1 on the sampled
+  // range, i.e., recover the known functional from {rho, v_xc} data alone.
+  std::vector<MlxcSystem> systems(1);
+  auto& sys = systems[0];
+  const int n = 10;
+  double exc_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    MlxcSample s;
+    s.rho = 0.1 + 0.1 * i;
+    s.sigma = 0.1 * i;
+    s.vxc = (4.0 / 3.0) * kExLda * std::cbrt(s.rho);
+    s.weight = 1.0 / n;
+    exc_total += s.weight * kExLda * std::pow(s.rho, 4.0 / 3.0);
+    sys.samples.push_back(s);
+  }
+  sys.exc_total = exc_total;
+
+  ml::Mlp net = MlxcFunctional::make_paper_network(1, 8, 7);
+  auto report = train_mlxc(net, systems, 4000, 3e-3);
+  EXPECT_LT(report.loss_vxc, 1e-5);
+  EXPECT_LT(report.loss_exc, 1e-6);
+
+  // The learned F should be ~1 on the training manifold.
+  MlxcFunctional mlxc(std::move(net));
+  std::vector<double> rho, sigma, exc, vrho, vsigma;
+  for (const auto& s : sys.samples) {
+    rho.push_back(s.rho);
+    sigma.push_back(s.sigma);
+  }
+  mlxc.evaluate(rho, sigma, exc, vrho, vsigma);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(exc[i] / (kExLda * std::cbrt(rho[i])), 1.0, 0.05);
+}
+
+TEST(Mlxc, TrainingReducesCompositeLoss) {
+  // Fit a gradient-dependent target (PBE-exchange-like) and require a large
+  // reduction of both loss terms.
+  GgaPbe pbe;
+  std::vector<MlxcSystem> systems(1);
+  auto& sys = systems[0];
+  for (int i = 0; i < 60; ++i) {
+    MlxcSample s;
+    s.rho = 0.1 + 0.03 * i;
+    s.sigma = 0.05 * (1 + i % 5);
+    std::vector<double> exc, vrho, vsigma;
+    pbe.evaluate({s.rho}, {s.sigma}, exc, vrho, vsigma);
+    s.vxc = vrho[0];
+    s.weight = 1.0 / 60;
+    sys.exc_total += s.weight * s.rho * exc[0];
+    sys.samples.push_back(s);
+  }
+  ml::Mlp net = MlxcFunctional::make_paper_network(2, 16, 5);
+  auto early = train_mlxc(net, systems, 5, 3e-3);
+  ml::Mlp net2 = MlxcFunctional::make_paper_network(2, 16, 5);
+  auto late = train_mlxc(net2, systems, 2000, 3e-3);
+  EXPECT_LT(late.loss_vxc, 0.05 * early.loss_vxc + 1e-12);
+}
+
+}  // namespace
+}  // namespace dftfe::xc

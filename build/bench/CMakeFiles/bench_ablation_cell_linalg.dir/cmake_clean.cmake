@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cell_linalg.dir/bench_ablation_cell_linalg.cpp.o"
+  "CMakeFiles/bench_ablation_cell_linalg.dir/bench_ablation_cell_linalg.cpp.o.d"
+  "bench_ablation_cell_linalg"
+  "bench_ablation_cell_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cell_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_strong_scaling_mp_async.dir/bench_fig5_strong_scaling_mp_async.cpp.o"
+  "CMakeFiles/bench_fig5_strong_scaling_mp_async.dir/bench_fig5_strong_scaling_mp_async.cpp.o.d"
+  "bench_fig5_strong_scaling_mp_async"
+  "bench_fig5_strong_scaling_mp_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_strong_scaling_mp_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

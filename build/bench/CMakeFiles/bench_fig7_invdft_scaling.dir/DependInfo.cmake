@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_invdft_scaling.cpp" "bench/CMakeFiles/bench_fig7_invdft_scaling.dir/bench_fig7_invdft_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_invdft_scaling.dir/bench_fig7_invdft_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_invdft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_onedim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_qmb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_ks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_atoms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

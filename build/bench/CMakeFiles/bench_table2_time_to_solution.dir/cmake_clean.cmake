@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_time_to_solution.dir/bench_table2_time_to_solution.cpp.o"
+  "CMakeFiles/bench_table2_time_to_solution.dir/bench_table2_time_to_solution.cpp.o.d"
+  "bench_table2_time_to_solution"
+  "bench_table2_time_to_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_time_to_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_invdft_pipeline.dir/invdft_pipeline.cpp.o"
+  "CMakeFiles/example_invdft_pipeline.dir/invdft_pipeline.cpp.o.d"
+  "example_invdft_pipeline"
+  "example_invdft_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_invdft_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mg_dislocation.dir/mg_dislocation.cpp.o"
+  "CMakeFiles/example_mg_dislocation.dir/mg_dislocation.cpp.o.d"
+  "example_mg_dislocation"
+  "example_mg_dislocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mg_dislocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

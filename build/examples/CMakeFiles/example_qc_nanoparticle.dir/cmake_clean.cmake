@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_qc_nanoparticle.dir/qc_nanoparticle.cpp.o"
+  "CMakeFiles/example_qc_nanoparticle.dir/qc_nanoparticle.cpp.o.d"
+  "example_qc_nanoparticle"
+  "example_qc_nanoparticle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_qc_nanoparticle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atoms/defects.cpp" "src/CMakeFiles/dftfe_atoms.dir/atoms/defects.cpp.o" "gcc" "src/CMakeFiles/dftfe_atoms.dir/atoms/defects.cpp.o.d"
+  "/root/repo/src/atoms/io.cpp" "src/CMakeFiles/dftfe_atoms.dir/atoms/io.cpp.o" "gcc" "src/CMakeFiles/dftfe_atoms.dir/atoms/io.cpp.o.d"
+  "/root/repo/src/atoms/lattice.cpp" "src/CMakeFiles/dftfe_atoms.dir/atoms/lattice.cpp.o" "gcc" "src/CMakeFiles/dftfe_atoms.dir/atoms/lattice.cpp.o.d"
+  "/root/repo/src/atoms/quasicrystal.cpp" "src/CMakeFiles/dftfe_atoms.dir/atoms/quasicrystal.cpp.o" "gcc" "src/CMakeFiles/dftfe_atoms.dir/atoms/quasicrystal.cpp.o.d"
+  "/root/repo/src/atoms/structure.cpp" "src/CMakeFiles/dftfe_atoms.dir/atoms/structure.cpp.o" "gcc" "src/CMakeFiles/dftfe_atoms.dir/atoms/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_atoms.dir/atoms/defects.cpp.o"
+  "CMakeFiles/dftfe_atoms.dir/atoms/defects.cpp.o.d"
+  "CMakeFiles/dftfe_atoms.dir/atoms/io.cpp.o"
+  "CMakeFiles/dftfe_atoms.dir/atoms/io.cpp.o.d"
+  "CMakeFiles/dftfe_atoms.dir/atoms/lattice.cpp.o"
+  "CMakeFiles/dftfe_atoms.dir/atoms/lattice.cpp.o.d"
+  "CMakeFiles/dftfe_atoms.dir/atoms/quasicrystal.cpp.o"
+  "CMakeFiles/dftfe_atoms.dir/atoms/quasicrystal.cpp.o.d"
+  "CMakeFiles/dftfe_atoms.dir/atoms/structure.cpp.o"
+  "CMakeFiles/dftfe_atoms.dir/atoms/structure.cpp.o.d"
+  "libdftfe_atoms.a"
+  "libdftfe_atoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_atoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

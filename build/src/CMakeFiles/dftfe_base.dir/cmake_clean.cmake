@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_base.dir/base/flops.cpp.o"
+  "CMakeFiles/dftfe_base.dir/base/flops.cpp.o.d"
+  "CMakeFiles/dftfe_base.dir/base/timer.cpp.o"
+  "CMakeFiles/dftfe_base.dir/base/timer.cpp.o.d"
+  "libdftfe_base.a"
+  "libdftfe_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_core.dir/core/relax.cpp.o"
+  "CMakeFiles/dftfe_core.dir/core/relax.cpp.o.d"
+  "CMakeFiles/dftfe_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/dftfe_core.dir/core/simulation.cpp.o.d"
+  "libdftfe_core.a"
+  "libdftfe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdftfe_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_dd.dir/dd/partition.cpp.o"
+  "CMakeFiles/dftfe_dd.dir/dd/partition.cpp.o.d"
+  "libdftfe_dd.a"
+  "libdftfe_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fe/cell_ops.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/cell_ops.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/cell_ops.cpp.o.d"
+  "/root/repo/src/fe/dofs.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/dofs.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/dofs.cpp.o.d"
+  "/root/repo/src/fe/gll.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/gll.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/gll.cpp.o.d"
+  "/root/repo/src/fe/gradient.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/gradient.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/gradient.cpp.o.d"
+  "/root/repo/src/fe/mesh.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/mesh.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/mesh.cpp.o.d"
+  "/root/repo/src/fe/poisson.cpp" "src/CMakeFiles/dftfe_fe.dir/fe/poisson.cpp.o" "gcc" "src/CMakeFiles/dftfe_fe.dir/fe/poisson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

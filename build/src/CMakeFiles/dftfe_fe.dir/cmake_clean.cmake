@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_fe.dir/fe/cell_ops.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/cell_ops.cpp.o.d"
+  "CMakeFiles/dftfe_fe.dir/fe/dofs.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/dofs.cpp.o.d"
+  "CMakeFiles/dftfe_fe.dir/fe/gll.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/gll.cpp.o.d"
+  "CMakeFiles/dftfe_fe.dir/fe/gradient.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/gradient.cpp.o.d"
+  "CMakeFiles/dftfe_fe.dir/fe/mesh.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/mesh.cpp.o.d"
+  "CMakeFiles/dftfe_fe.dir/fe/poisson.cpp.o"
+  "CMakeFiles/dftfe_fe.dir/fe/poisson.cpp.o.d"
+  "libdftfe_fe.a"
+  "libdftfe_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/invdft/invert1d.cpp" "src/CMakeFiles/dftfe_invdft.dir/invdft/invert1d.cpp.o" "gcc" "src/CMakeFiles/dftfe_invdft.dir/invdft/invert1d.cpp.o.d"
+  "/root/repo/src/invdft/invert3d.cpp" "src/CMakeFiles/dftfe_invdft.dir/invdft/invert3d.cpp.o" "gcc" "src/CMakeFiles/dftfe_invdft.dir/invdft/invert3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_onedim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_ks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_qmb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_xc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_invdft.dir/invdft/invert1d.cpp.o"
+  "CMakeFiles/dftfe_invdft.dir/invdft/invert1d.cpp.o.d"
+  "CMakeFiles/dftfe_invdft.dir/invdft/invert3d.cpp.o"
+  "CMakeFiles/dftfe_invdft.dir/invdft/invert3d.cpp.o.d"
+  "libdftfe_invdft.a"
+  "libdftfe_invdft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_invdft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

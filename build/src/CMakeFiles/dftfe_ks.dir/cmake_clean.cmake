@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_ks.dir/ks/scf.cpp.o"
+  "CMakeFiles/dftfe_ks.dir/ks/scf.cpp.o.d"
+  "libdftfe_ks.a"
+  "libdftfe_ks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdftfe_ks.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cpp" "src/CMakeFiles/dftfe_la.dir/la/cholesky.cpp.o" "gcc" "src/CMakeFiles/dftfe_la.dir/la/cholesky.cpp.o.d"
+  "/root/repo/src/la/eig.cpp" "src/CMakeFiles/dftfe_la.dir/la/eig.cpp.o" "gcc" "src/CMakeFiles/dftfe_la.dir/la/eig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_la.dir/la/cholesky.cpp.o"
+  "CMakeFiles/dftfe_la.dir/la/cholesky.cpp.o.d"
+  "CMakeFiles/dftfe_la.dir/la/eig.cpp.o"
+  "CMakeFiles/dftfe_la.dir/la/eig.cpp.o.d"
+  "libdftfe_la.a"
+  "libdftfe_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_ml.dir/ml/mlp.cpp.o"
+  "CMakeFiles/dftfe_ml.dir/ml/mlp.cpp.o.d"
+  "libdftfe_ml.a"
+  "libdftfe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_onedim.dir/onedim/ks1d.cpp.o"
+  "CMakeFiles/dftfe_onedim.dir/onedim/ks1d.cpp.o.d"
+  "CMakeFiles/dftfe_onedim.dir/onedim/xc1d.cpp.o"
+  "CMakeFiles/dftfe_onedim.dir/onedim/xc1d.cpp.o.d"
+  "libdftfe_onedim.a"
+  "libdftfe_onedim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_onedim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

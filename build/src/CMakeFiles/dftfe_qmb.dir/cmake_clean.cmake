@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_qmb.dir/qmb/fci.cpp.o"
+  "CMakeFiles/dftfe_qmb.dir/qmb/fci.cpp.o.d"
+  "CMakeFiles/dftfe_qmb.dir/qmb/grid1d.cpp.o"
+  "CMakeFiles/dftfe_qmb.dir/qmb/grid1d.cpp.o.d"
+  "libdftfe_qmb.a"
+  "libdftfe_qmb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_qmb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

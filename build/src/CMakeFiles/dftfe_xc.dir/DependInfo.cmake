@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xc/lda.cpp" "src/CMakeFiles/dftfe_xc.dir/xc/lda.cpp.o" "gcc" "src/CMakeFiles/dftfe_xc.dir/xc/lda.cpp.o.d"
+  "/root/repo/src/xc/mlxc.cpp" "src/CMakeFiles/dftfe_xc.dir/xc/mlxc.cpp.o" "gcc" "src/CMakeFiles/dftfe_xc.dir/xc/mlxc.cpp.o.d"
+  "/root/repo/src/xc/pbe.cpp" "src/CMakeFiles/dftfe_xc.dir/xc/pbe.cpp.o" "gcc" "src/CMakeFiles/dftfe_xc.dir/xc/pbe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dftfe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dftfe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

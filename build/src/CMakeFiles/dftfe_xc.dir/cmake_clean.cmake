@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftfe_xc.dir/xc/lda.cpp.o"
+  "CMakeFiles/dftfe_xc.dir/xc/lda.cpp.o.d"
+  "CMakeFiles/dftfe_xc.dir/xc/mlxc.cpp.o"
+  "CMakeFiles/dftfe_xc.dir/xc/mlxc.cpp.o.d"
+  "CMakeFiles/dftfe_xc.dir/xc/pbe.cpp.o"
+  "CMakeFiles/dftfe_xc.dir/xc/pbe.cpp.o.d"
+  "libdftfe_xc.a"
+  "libdftfe_xc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftfe_xc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atoms.dir/test_atoms.cpp.o"
+  "CMakeFiles/test_atoms.dir/test_atoms.cpp.o.d"
+  "test_atoms"
+  "test_atoms.pdb"
+  "test_atoms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fe.dir/test_fe.cpp.o"
+  "CMakeFiles/test_fe.dir/test_fe.cpp.o.d"
+  "test_fe"
+  "test_fe.pdb"
+  "test_fe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

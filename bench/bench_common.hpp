@@ -17,12 +17,14 @@
 // See DESIGN.md ("Hardware gates and substitutions").
 
 #include <cstdio>
+#include <string>
 
 #include "base/flops.hpp"
 #include "base/table.hpp"
 #include "base/timer.hpp"
 #include "la/batched.hpp"
 #include "la/blas.hpp"
+#include "obs/export.hpp"
 
 namespace dftfe::bench {
 
@@ -73,6 +75,17 @@ inline void print_preamble(const char* what) {
 
 inline std::string pct_of_peak(double gflops) {
   return TextTable::num(100.0 * gflops / calibrated_peak_gflops(), 1) + "%";
+}
+
+/// Write the current metrics snapshot (solver metrics + per-step wall times
+/// + per-step FLOPs) as a machine-readable bench artifact, so every bench
+/// run's numbers are trackable across commits. Call before clearing the
+/// global registries.
+inline void write_bench_artifact(const std::string& path) {
+  if (obs::write_metrics_snapshot(path))
+    std::printf("bench artifact: %s\n", path.c_str());
+  else
+    std::printf("bench artifact: FAILED to write %s\n", path.c_str());
 }
 
 }  // namespace dftfe::bench

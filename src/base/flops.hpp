@@ -16,19 +16,24 @@ namespace dftfe {
 class FlopCounter {
  public:
   /// Add FLOPs to the global total and to the named step bucket (if set).
+  /// The total accumulates in double (C++20 atomic fetch_add): the previous
+  /// int64 cast silently dropped every fractional contribution.
   void add(double flops) {
-    total_.fetch_add(static_cast<std::int64_t>(flops), std::memory_order_relaxed);
-    if (!current_step_.empty()) {
+    total_.fetch_add(flops, std::memory_order_relaxed);
+    // Lock-free fast path when no step is attributed: the flag (not the
+    // string, whose unsynchronized read would race set_step) gates the lock.
+    if (has_step_.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lk(mu_);
-      steps_[current_step_] += flops;
+      if (!current_step_.empty()) steps_[current_step_] += flops;
     }
   }
-  double total() const { return static_cast<double>(total_.load()); }
+  double total() const { return total_.load(std::memory_order_relaxed); }
 
   /// Attribute subsequent FLOPs to a named step (e.g. "CF", "CholGS-S").
   void set_step(std::string name) {
     std::lock_guard<std::mutex> lk(mu_);
     current_step_ = std::move(name);
+    has_step_.store(!current_step_.empty(), std::memory_order_release);
   }
   double step(const std::string& name) const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -41,15 +46,17 @@ class FlopCounter {
   }
   void clear() {
     std::lock_guard<std::mutex> lk(mu_);
-    total_.store(0);
+    total_.store(0.0);
     steps_.clear();
     current_step_.clear();
+    has_step_.store(false, std::memory_order_release);
   }
 
   static FlopCounter& global();
 
  private:
-  std::atomic<std::int64_t> total_{0};
+  std::atomic<double> total_{0.0};
+  std::atomic<bool> has_step_{false};
   mutable std::mutex mu_;
   std::map<std::string, double> steps_;
   std::string current_step_;

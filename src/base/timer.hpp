@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,9 @@ class Timer {
   clock::time_point start_;
 };
 
-/// Accumulates (count, total seconds) per named section. Not thread-safe by
-/// design: sections are recorded from the orchestrating thread only, matching
-/// how the paper times whole parallel steps rather than per-thread work.
+/// Accumulates (count, total seconds) per named section. Mutex-guarded so
+/// OpenMP-parallel sections and the obs span tracer can record concurrently;
+/// the lock sits on the (rare) section-completion path, never inside Timer.
 class ProfileRegistry {
  public:
   struct Entry {
@@ -38,25 +39,38 @@ class ProfileRegistry {
   };
 
   void add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto& e = entries_[name];
     e.seconds += seconds;
     ++e.count;
   }
+  /// Pointer into the registry (std::map nodes are stable across inserts);
+  /// nullptr when the section was never recorded.
   const Entry* find(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = entries_.find(name);
     return it == entries_.end() ? nullptr : &it->second;
   }
   double seconds(const std::string& name) const {
-    const Entry* e = find(name);
-    return e ? e->seconds : 0.0;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
   }
-  const std::map<std::string, Entry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+  /// Consistent copy of all entries.
+  std::map<std::string, Entry> entries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+  }
 
   /// Process-wide registry used by the solver steps.
   static ProfileRegistry& global();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

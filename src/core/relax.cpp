@@ -1,7 +1,10 @@
 #include "core/relax.hpp"
 
 #include <cmath>
-#include <iostream>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dftfe::core {
 
@@ -12,6 +15,7 @@ RelaxResult relax_structure(atoms::Structure st, const SimulationOptions& opt,
   double prev_energy = 1e300;
 
   for (int it = 0; it < ropt.max_steps; ++it) {
+    obs::TraceSpan span("Relax-step", "relax");
     Simulation sim(st, opt);
     const auto res = sim.run();
     const auto F = sim.forces();
@@ -21,9 +25,11 @@ RelaxResult relax_structure(atoms::Structure st, const SimulationOptions& opt,
     result.max_force = 0.0;
     for (const auto& f : F)
       for (int d = 0; d < 3; ++d) result.max_force = std::max(result.max_force, std::abs(f[d]));
-    if (ropt.verbose)
-      std::cout << "  [relax] step " << it << "  E = " << res.energy
-                << "  max|F| = " << result.max_force << '\n';
+    obs::MetricsRegistry::global().series_append("relax.energy", res.energy);
+    obs::MetricsRegistry::global().series_append("relax.max_force", result.max_force);
+    DFTFE_LOG_AT(obs::level_for(ropt.verbose))
+        << "  [relax] step " << it << "  E = " << res.energy
+        << "  max|F| = " << result.max_force;
     // Keep the geometry consistent with the (recentered) simulation frame.
     st = sim.structure();
     result.structure = st;

@@ -16,6 +16,7 @@ struct RelaxOptions {
   int max_steps = 20;
   double force_tol = 5e-3;  // Ha/Bohr, max component
   double step = 1.5;        // initial displacement per unit force (Bohr^2/Ha)
+  // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
 };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "xc/lda.hpp"
 #include "xc/pbe.hpp"
 
@@ -92,11 +94,16 @@ Simulation::Simulation(atoms::Structure st, SimulationOptions opt)
 }
 
 SimulationResult Simulation::run() {
+  obs::TraceSpan span("Simulation-run", "core");
   auto xcf = make_functional(opt_.functional, opt_.mlxc_weights);
   SimulationResult res;
   res.natoms = structure_.natoms();
   res.ndofs = dofh_->ndofs();
   res.n_electrons = nelectrons_;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.gauge_set("sim.natoms", static_cast<double>(res.natoms));
+  metrics.gauge_set("sim.ndofs", static_cast<double>(res.ndofs));
+  metrics.gauge_set("sim.n_electrons", res.n_electrons);
 
   const bool gamma_only =
       opt_.kpoints.empty() ||
@@ -119,6 +126,10 @@ SimulationResult Simulation::run() {
   }
   res.energy = res.scf.energy.total;
   res.energy_per_atom = res.energy / std::max<index_t>(res.natoms, 1);
+  metrics.gauge_set("scf.iterations", res.scf.iterations);
+  metrics.gauge_set("scf.converged", res.scf.converged ? 1.0 : 0.0);
+  metrics.gauge_set("scf.fermi_level.final", res.scf.energy.fermi_level);
+  metrics.gauge_set("sim.energy", res.energy);
   return res;
 }
 

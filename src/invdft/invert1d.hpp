@@ -29,6 +29,7 @@ struct Invert1DOptions {
   double loss_tol = 1e-10;   // int (rho - rho_t)^2 dx
   double adjoint_tol = 1e-8;
   bool use_preconditioner = true;
+  // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
 };
 

@@ -1,9 +1,11 @@
 #include "invdft/invert3d.hpp"
 
 #include <cmath>
-#include <iostream>
 
 #include "base/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dftfe::invdft {
 
@@ -26,6 +28,7 @@ Invert3DResult invert_fe_3d(const fe::DofHandler& dofh, const std::vector<double
   std::vector<double> rho(n), resid(n), update(n), vks(n);
 
   auto forward = [&](const std::vector<double>& vxc, int cycles, std::vector<double>& rho_out) {
+    obs::TraceSpan span("invDFT-forward", "invdft");
     Timer t;
     for (index_t i = 0; i < n; ++i) vks[i] = v_fixed[i] + vxc[i];
     H.set_potential(vks);
@@ -57,6 +60,7 @@ Invert3DResult invert_fe_3d(const fe::DofHandler& dofh, const std::vector<double
     }
 
     // Adjoint block MINRES (paper Sec. 5.3.1).
+    obs::TraceSpan adj_span("invDFT-adjoint", "invdft");
     Timer t_adj;
     const auto& X = solver.subspace();
     const auto& ev = solver.eigenvalues();
@@ -96,6 +100,8 @@ Invert3DResult invert_fe_3d(const fe::DofHandler& dofh, const std::vector<double
                                                     opt.adjoint_maxit);
     result.adjoint_minres_iterations += rep.iterations;
     result.seconds_adjoint += t_adj.seconds();
+    adj_span.stop();  // line-search forward solves below are not adjoint work
+    obs::MetricsRegistry::global().series_append("invdft3d.minres_iterations", rep.iterations);
 
     // u = sum_j p_j psi_j drives the v_xc update (Sec. 5.1).
     for (index_t i = 0; i < n; ++i) {
@@ -136,9 +142,9 @@ Invert3DResult invert_fe_3d(const fe::DofHandler& dofh, const std::vector<double
       }
       eta *= 0.4;
     }
-    if (opt.verbose)
-      std::cout << "  [invdft3d] iter " << it << " loss " << loss << " minres "
-                << rep.iterations << '\n';
+    obs::MetricsRegistry::global().series_append("invdft3d.loss", loss);
+    DFTFE_LOG_AT(obs::level_for(opt.verbose))
+        << "  [invdft3d] iter " << it << " loss " << loss << " minres " << rep.iterations;
     if (!improved) break;
   }
   result.loss = loss;

@@ -24,6 +24,7 @@ struct Invert3DOptions {
   bool use_preconditioner = true;
   int forward_cycles = 2;        // ChFES cycles per outer iteration
   double step = 1.0;             // initial line-search step
+  // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
 };
 

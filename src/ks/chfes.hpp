@@ -10,8 +10,9 @@
 //   [RR]      Rayleigh-Ritz: projected Hamiltonian (same mixed-precision
 //             block structure), dense diagonalization, subspace rotation.
 //
-// Every step records wall time into ProfileRegistry and attributes FLOPs to
-// the paper's step names (CF, CholGS-S, CholGS-CI, CholGS-O, RR-P, RR-D,
+// Every step opens an obs::TraceSpan (which feeds both the Chrome-trace
+// recorder and the aggregate ProfileRegistry) and attributes FLOPs to the
+// paper's step names (CF, CholGS-S, CholGS-CI, CholGS-O, RR-P, RR-D,
 // RR-SR), which is what the Table 3 bench reads back out.
 
 #include <vector>
@@ -20,6 +21,8 @@
 #include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "dd/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ks/hamiltonian.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -68,6 +71,10 @@ class ChebyshevFilteredSolver {
 
   /// One ChFES cycle (CF + CholGS + RR). Returns the Ritz values.
   const std::vector<double>& cycle() {
+    obs::TraceSpan span("ChFES-cycle", "chfes");
+    obs::MetricsRegistry::global().gauge_set("chfes.cheb_degree", opt_.cheb_degree);
+    obs::MetricsRegistry::global().gauge_set("chfes.block_size",
+                                             static_cast<double>(opt_.block_size));
     update_bounds();
     filter();
     orthonormalize();
@@ -115,7 +122,7 @@ class ChebyshevFilteredSolver {
   }
 
   void filter() {
-    ScopedTimer timer("CF");
+    obs::TraceSpan timer("CF", "chfes");
     ScopedFlopStep step("CF");
     cf_timings_.clear();
     const index_t n = X_.rows(), N = X_.cols();
@@ -187,7 +194,7 @@ class ChebyshevFilteredSolver {
     const index_t n = X_.rows(), N = X_.cols();
     la::Matrix<T> S;
     {
-      ScopedTimer t("CholGS-S");
+      obs::TraceSpan t("CholGS-S", "chfes");
       S = overlap_mixed(X_, X_, "CholGS-S");
       // Clean FP32 asymmetry: S <- (S + S^H)/2.
       for (index_t j = 0; j < N; ++j)
@@ -198,7 +205,7 @@ class ChebyshevFilteredSolver {
         }
     }
     {
-      ScopedTimer t("CholGS-CI");
+      obs::TraceSpan t("CholGS-CI", "chfes");
       ScopedFlopStep step("CholGS-CI");
       if (!la::cholesky_lower(S)) {
         // Filtered vectors became numerically dependent (can happen on the
@@ -212,7 +219,7 @@ class ChebyshevFilteredSolver {
       la::invert_lower_triangular(S);  // S now holds L^{-1}
     }
     {
-      ScopedTimer t("CholGS-O");
+      obs::TraceSpan t("CholGS-O", "chfes");
       ScopedFlopStep step("CholGS-O");
       la::Matrix<T> Xo(n, N);
       la::gemm('N', 'C', T(1), X_, S, T(0), Xo);  // X L^{-H}
@@ -225,7 +232,7 @@ class ChebyshevFilteredSolver {
     la::Matrix<T> W;
     la::Matrix<T> P;
     {
-      ScopedTimer t("RR-P");
+      obs::TraceSpan t("RR-P", "chfes");
       {
         ScopedFlopStep step("RR-P");  // H X counts toward the projection step
         H_->apply(X_, W);
@@ -240,12 +247,12 @@ class ChebyshevFilteredSolver {
     }
     la::Matrix<T> Q;
     {
-      ScopedTimer t("RR-D");
+      obs::TraceSpan t("RR-D", "chfes");
       ScopedFlopStep step("RR-D");
       la::hermitian_eig(P, evals_, Q);
     }
     {
-      ScopedTimer t("RR-SR");
+      obs::TraceSpan t("RR-SR", "chfes");
       ScopedFlopStep step("RR-SR");
       la::Matrix<T> Xr(n, N);
       la::gemm('N', 'N', T(1), X_, Q, T(0), Xr);

@@ -1,9 +1,11 @@
 #include "ks/scf.hpp"
 
 #include <cmath>
-#include <iostream>
 
 #include "fe/gradient.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dftfe::ks {
 
@@ -174,7 +176,7 @@ double KohnShamDFT<T>::electrostatics(const std::vector<double>& rho,
 
 template <class T>
 void KohnShamDFT<T>::update_effective_potential() {
-  ScopedTimer t("DH");
+  obs::TraceSpan t("DH", "scf");
   std::vector<double> vxc, v_es;
   bool used_gradient = false;
   xc_energy_and_potential(rho_, vxc, used_gradient);
@@ -222,7 +224,7 @@ double KohnShamDFT<T>::find_fermi_level() const {
 
 template <class T>
 std::vector<double> KohnShamDFT<T>::compute_density(double mu) const {
-  ScopedTimer t("DC");
+  obs::TraceSpan t("DC", "scf");
   ScopedFlopStep step("DC");
   const index_t n = dofh_->ndofs();
   const auto& mass = dofh_->mass();
@@ -276,6 +278,8 @@ EnergyBreakdown KohnShamDFT<T>::compute_energy(const std::vector<double>& rho_ou
 
 template <class T>
 ScfResult KohnShamDFT<T>::solve() {
+  obs::TraceSpan span("SCF", "scf");
+  auto& metrics = obs::MetricsRegistry::global();
   const index_t n = dofh_->ndofs();
   const auto& mass = dofh_->mass();
   nstates_ = opt_.nstates > 0
@@ -304,6 +308,7 @@ ScfResult KohnShamDFT<T>::solve() {
   ScfResult result;
 
   for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+    obs::TraceSpan iter_span("SCF-iter", "scf");
     update_effective_potential();
     const std::vector<double> v_eff_used = v_eff_;
 
@@ -324,8 +329,10 @@ ScfResult KohnShamDFT<T>::solve() {
     const double rnorm = std::sqrt(r2) / nelectrons_;
     result.residual_history.push_back(rnorm);
     result.iterations = iter + 1;
-    if (opt_.verbose)
-      std::cout << "  [scf] iter " << iter << "  residual " << rnorm << "  mu " << mu << '\n';
+    metrics.series_append("scf.residual", rnorm);
+    metrics.series_append("scf.fermi_level", mu);
+    DFTFE_LOG_AT(obs::level_for(opt_.verbose))
+        << "  [scf] iter " << iter << "  residual " << rnorm << "  mu " << mu;
 
     if (rnorm < opt_.density_tol) {
       result.converged = true;
@@ -342,6 +349,7 @@ ScfResult KohnShamDFT<T>::solve() {
       hist_res.erase(hist_res.begin());
     }
     const int m = static_cast<int>(hist_rho.size()) - 1;
+    metrics.series_append("scf.anderson_depth", m);
     std::vector<double> rho_next(n);
     if (m >= 1) {
       // Minimize || res_k - sum_j th_j (res_k - res_{k-1-j}) || in the mass

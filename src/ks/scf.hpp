@@ -50,6 +50,7 @@ struct ScfOptions {
   int anderson_depth = 4;
   double poisson_tol = 1e-9;
   bool include_hartree = true;  // disable for non-interacting validation tests
+  // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
   unsigned seed = 42;
 };

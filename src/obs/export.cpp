@@ -1,0 +1,179 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dftfe::obs {
+
+namespace {
+
+/// JSON number: shortest round-trip form; non-finite values become null
+/// (strict JSON has no NaN/Inf and chrome://tracing rejects them).
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_scalar_map(std::ostringstream& os, const std::map<std::string, double>& m) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(k) << "\":" << json_num(v);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+const std::vector<CanonicalStep>& canonical_steps() {
+  static const std::vector<CanonicalStep> steps = {
+      {"CF", false},       {"CholGS-S", false}, {"CholGS-CI", true},
+      {"CholGS-O", false}, {"RR-P", false},     {"RR-D", true},
+      {"RR-SR", false},    {"DC", false},
+  };
+  return steps;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const TraceRecorder& rec) {
+  const auto events = rec.events();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dftfe-mlxc\",\"dropped\":"
+     << rec.dropped() << "},\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.category)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << json_num(ev.ts_us)
+       << ",\"dur\":" << json_num(ev.dur_us) << ",\"args\":{\"id\":" << ev.id
+       << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path, const TraceRecorder& rec) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << chrome_trace_json(rec) << '\n';
+  return static_cast<bool>(f);
+}
+
+std::string metrics_snapshot_json(const MetricsRegistry& metrics,
+                                  const ProfileRegistry& profile, const FlopCounter& flops) {
+  const auto snap = metrics.snapshot();
+  std::ostringstream os;
+  os << "{\"schema\":\"dftfe.metrics.v1\"";
+
+  os << ",\"counters\":";
+  append_scalar_map(os, snap.counters);
+  os << ",\"gauges\":";
+  append_scalar_map(os, snap.gauges);
+
+  os << ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, values] : snap.series) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) os << ',';
+      os << json_num(values[i]);
+    }
+    os << ']';
+  }
+  os << '}';
+
+  os << ",\"profile\":{";
+  first = true;
+  for (const auto& [name, entry] : profile.entries()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"seconds\":" << json_num(entry.seconds)
+       << ",\"count\":" << entry.count << '}';
+  }
+  os << '}';
+
+  os << ",\"flops\":{\"total\":" << json_num(flops.total()) << ",\"steps\":";
+  append_scalar_map(os, flops.steps());
+  os << "}}";
+  return os.str();
+}
+
+bool write_metrics_snapshot(const std::string& path, const MetricsRegistry& metrics,
+                            const ProfileRegistry& profile, const FlopCounter& flops) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << metrics_snapshot_json(metrics, profile, flops) << '\n';
+  return static_cast<bool>(f);
+}
+
+TextTable step_breakdown_table(double total_wall, double peak_gflops,
+                               const ProfileRegistry& profile, const FlopCounter& flops) {
+  std::vector<std::string> header = {"step", "wall (s)", "GFLOP", "GFLOPS"};
+  if (peak_gflops > 0.0) header.push_back("% of calibrated peak");
+  TextTable t(header);
+  auto pct = [&](double gflops) {
+    return TextTable::num(100.0 * gflops / peak_gflops, 1) + "%";
+  };
+  double accounted = 0.0, gflop_total = 0.0;
+  for (const auto& step : canonical_steps()) {
+    const double wall = profile.seconds(step.name);
+    const double gf = flops.step(step.name) / 1e9;
+    accounted += wall;
+    if (!step.minor) gflop_total += gf;
+    const double rate = gf / std::max(wall, 1e-9);
+    std::vector<std::string> row = {step.name, TextTable::num(wall, 3),
+                                    step.minor ? "-" : TextTable::num(gf, 2),
+                                    step.minor ? "-" : TextTable::num(rate, 2)};
+    if (peak_gflops > 0.0) row.push_back(step.minor ? "-" : pct(rate));
+    t.add_row(std::move(row));
+  }
+  const double others = std::max(total_wall - accounted, 0.0);
+  {
+    std::vector<std::string> row = {"DH+EP+Others", TextTable::num(others, 3), "-", "-"};
+    if (peak_gflops > 0.0) row.push_back("-");
+    t.add_row(std::move(row));
+  }
+  {
+    const double rate = gflop_total / std::max(total_wall, 1e-9);
+    std::vector<std::string> row = {"TOTAL", TextTable::num(total_wall, 3),
+                                    TextTable::num(gflop_total, 2), TextTable::num(rate, 2)};
+    if (peak_gflops > 0.0) row.push_back(pct(rate));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace dftfe::obs

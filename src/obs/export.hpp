@@ -1,0 +1,57 @@
+#pragma once
+
+// Telemetry exporters:
+//  * chrome_trace_json / write_chrome_trace — the recorder's spans in Chrome
+//    trace-event format ("X" complete events); load the file directly in
+//    chrome://tracing or https://ui.perfetto.dev.
+//  * metrics_snapshot_json / write_metrics_snapshot — one flat JSON object
+//    combining the MetricsRegistry (counters/gauges/series), the
+//    ProfileRegistry per-step wall times, and the FlopCounter per-step FLOP
+//    attribution. This is the machine-readable form of the paper's Table 3.
+//  * step_breakdown_table — the human-readable Table-3-layout text table
+//    (per-step wall / GFLOP / GFLOPS / optional %-of-peak).
+
+#include <string>
+#include <vector>
+
+#include "base/flops.hpp"
+#include "base/table.hpp"
+#include "base/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dftfe::obs {
+
+/// The paper's canonical per-step names (Sec. 6.3 / Table 3 order).
+/// CholGS-CI and RR-D are "minor" steps: their wall time is reported but
+/// their O(N^3) FLOPs are not charged to the totals, matching the paper.
+struct CanonicalStep {
+  const char* name;
+  bool minor;
+};
+const std::vector<CanonicalStep>& canonical_steps();
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+std::string chrome_trace_json(const TraceRecorder& rec = TraceRecorder::global());
+/// Write the Chrome trace to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const TraceRecorder& rec = TraceRecorder::global());
+
+std::string metrics_snapshot_json(const MetricsRegistry& metrics = MetricsRegistry::global(),
+                                  const ProfileRegistry& profile = ProfileRegistry::global(),
+                                  const FlopCounter& flops = FlopCounter::global());
+bool write_metrics_snapshot(const std::string& path,
+                            const MetricsRegistry& metrics = MetricsRegistry::global(),
+                            const ProfileRegistry& profile = ProfileRegistry::global(),
+                            const FlopCounter& flops = FlopCounter::global());
+
+/// Table-3-layout breakdown of the canonical steps plus a "DH+EP+Others"
+/// remainder row and a TOTAL row. `total_wall` is the measured wall time the
+/// remainder is computed against; `peak_gflops > 0` adds a %-of-peak column.
+TextTable step_breakdown_table(double total_wall, double peak_gflops = 0.0,
+                               const ProfileRegistry& profile = ProfileRegistry::global(),
+                               const FlopCounter& flops = FlopCounter::global());
+
+}  // namespace dftfe::obs

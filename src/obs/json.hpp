@@ -1,0 +1,166 @@
+#pragma once
+
+// Minimal recursive-descent JSON validator. No DOM, no allocation: it checks
+// that a byte string is one well-formed JSON value (RFC 8259 grammar, with a
+// depth cap against pathological nesting). The test suite uses it to parse
+// back the Chrome trace and metrics-snapshot artifacts the exporters emit;
+// it is deliberately strict (no trailing commas, no comments, no NaN/Inf)
+// so anything it accepts loads in chrome://tracing / Perfetto.
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace dftfe::obs {
+
+namespace json_detail {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  int depth = 0;
+  bool eof() const { return p >= end; }
+  char peek() const { return *p; }
+};
+
+inline void skip_ws(Cursor& c) {
+  while (!c.eof() && (*c.p == ' ' || *c.p == '\t' || *c.p == '\n' || *c.p == '\r')) ++c.p;
+}
+
+inline bool parse_value(Cursor& c);
+
+inline bool parse_literal(Cursor& c, const char* lit) {
+  while (*lit) {
+    if (c.eof() || *c.p != *lit) return false;
+    ++c.p;
+    ++lit;
+  }
+  return true;
+}
+
+inline bool parse_string(Cursor& c) {
+  if (c.eof() || *c.p != '"') return false;
+  ++c.p;
+  while (!c.eof()) {
+    const unsigned char ch = static_cast<unsigned char>(*c.p);
+    if (ch == '"') {
+      ++c.p;
+      return true;
+    }
+    if (ch < 0x20) return false;  // raw control characters must be escaped
+    if (ch == '\\') {
+      ++c.p;
+      if (c.eof()) return false;
+      const char esc = *c.p;
+      if (esc == 'u') {
+        ++c.p;
+        for (int i = 0; i < 4; ++i, ++c.p)
+          if (c.eof() || !std::isxdigit(static_cast<unsigned char>(*c.p))) return false;
+        continue;
+      }
+      if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' && esc != 'n' &&
+          esc != 'r' && esc != 't')
+        return false;
+    }
+    ++c.p;
+  }
+  return false;
+}
+
+inline bool parse_number(Cursor& c) {
+  if (!c.eof() && *c.p == '-') ++c.p;
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+  if (*c.p == '0') {
+    ++c.p;
+  } else {
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (!c.eof() && *c.p == '.') {
+    ++c.p;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  if (!c.eof() && (*c.p == 'e' || *c.p == 'E')) {
+    ++c.p;
+    if (!c.eof() && (*c.p == '+' || *c.p == '-')) ++c.p;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(*c.p))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(*c.p))) ++c.p;
+  }
+  return true;
+}
+
+inline bool parse_array(Cursor& c) {
+  ++c.p;  // consume '['
+  skip_ws(c);
+  if (!c.eof() && *c.p == ']') {
+    ++c.p;
+    return true;
+  }
+  while (true) {
+    if (!parse_value(c)) return false;
+    skip_ws(c);
+    if (c.eof()) return false;
+    if (*c.p == ']') {
+      ++c.p;
+      return true;
+    }
+    if (*c.p != ',') return false;
+    ++c.p;
+    skip_ws(c);
+  }
+}
+
+inline bool parse_object(Cursor& c) {
+  ++c.p;  // consume '{'
+  skip_ws(c);
+  if (!c.eof() && *c.p == '}') {
+    ++c.p;
+    return true;
+  }
+  while (true) {
+    skip_ws(c);
+    if (!parse_string(c)) return false;
+    skip_ws(c);
+    if (c.eof() || *c.p != ':') return false;
+    ++c.p;
+    if (!parse_value(c)) return false;
+    skip_ws(c);
+    if (c.eof()) return false;
+    if (*c.p == '}') {
+      ++c.p;
+      return true;
+    }
+    if (*c.p != ',') return false;
+    ++c.p;
+  }
+}
+
+inline bool parse_value(Cursor& c) {
+  if (++c.depth > 256) return false;
+  skip_ws(c);
+  if (c.eof()) return false;
+  bool ok = false;
+  switch (*c.p) {
+    case '{': ok = parse_object(c); break;
+    case '[': ok = parse_array(c); break;
+    case '"': ok = parse_string(c); break;
+    case 't': ok = parse_literal(c, "true"); break;
+    case 'f': ok = parse_literal(c, "false"); break;
+    case 'n': ok = parse_literal(c, "null"); break;
+    default: ok = parse_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace json_detail
+
+/// True iff `text` is exactly one well-formed JSON value (plus whitespace).
+inline bool json_valid(const std::string& text) {
+  json_detail::Cursor c{text.data(), text.data() + text.size()};
+  if (!json_detail::parse_value(c)) return false;
+  json_detail::skip_ws(c);
+  return c.eof();
+}
+
+}  // namespace dftfe::obs

@@ -1,0 +1,10 @@
+#include "obs/metrics.hpp"
+
+namespace dftfe::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+}  // namespace dftfe::obs

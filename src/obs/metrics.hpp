@@ -1,0 +1,81 @@
+#pragma once
+
+// Solver metrics registry: counters (monotonic accumulators), gauges (last
+// value wins), and ordered time series (one append per SCF/outer iteration).
+//
+// This is the machine-readable side of the convergence diagnostics the
+// solvers previously printf'd: SCF residual and Fermi level per iteration,
+// Anderson mixing depth, Poisson PCG and adjoint block-MINRES iteration
+// counts, Chebyshev filter degree and block size. Snapshots serialize to
+// JSON via obs/export.hpp alongside the ProfileRegistry wall times and
+// FlopCounter per-step FLOPs.
+//
+// All operations are mutex-guarded; recording from OpenMP-parallel sections
+// is safe. Keep calls at per-iteration granularity (not inner loops).
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dftfe::obs {
+
+class MetricsRegistry {
+ public:
+  struct Snapshot {
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::vector<double>> series;
+  };
+
+  void counter_add(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_[name] += v;
+  }
+  void gauge_set(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    gauges_[name] = v;
+  }
+  /// Append one point to an ordered series (insertion order is preserved).
+  void series_append(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    series_[name].push_back(v);
+  }
+
+  double counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  double gauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+  std::vector<double> series(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = series_.find(name);
+    return it == series_.end() ? std::vector<double>{} : it->second;
+  }
+
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {counters_, gauges_, series_};
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.clear();
+    gauges_.clear();
+    series_.clear();
+  }
+
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace dftfe::obs

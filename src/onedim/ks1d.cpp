@@ -1,9 +1,9 @@
 #include "onedim/ks1d.hpp"
 
 #include <cmath>
-#include <iostream>
 
 #include "la/eig.hpp"
+#include "obs/log.hpp"
 
 namespace dftfe::onedim {
 
@@ -112,7 +112,7 @@ Ks1DResult KohnSham1D::solve() {
     double res = 0.0;
     for (index_t i = 0; i < n; ++i) res = std::max(res, std::abs(rho_out[i] - rho[i]) * grid_.h);
     result.iterations = iter + 1;
-    if (opt_.verbose) std::cout << "  [ks1d] iter " << iter << " res " << res << '\n';
+    DFTFE_LOG_AT(obs::level_for(opt_.verbose)) << "  [ks1d] iter " << iter << " res " << res;
 
     const bool done = (res < opt_.density_tol) || (iter + 1 == opt_.max_iterations);
     if (done) {

@@ -17,6 +17,7 @@ struct Ks1DOptions {
   int max_iterations = 200;
   double density_tol = 1e-9;   // max |rho_out - rho_in| * h
   double mixing = 0.35;
+  // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
 };
 

@@ -1,7 +1,8 @@
 #include "xc/mlxc.hpp"
 
 #include <cmath>
-#include <iostream>
+
+#include "obs/log.hpp"
 
 namespace dftfe::xc {
 
@@ -154,9 +155,10 @@ MlxcTrainReport train_mlxc(ml::Mlp& net, const std::vector<MlxcSystem>& systems,
     report.loss_exc = loss_exc;
     report.loss_vxc = loss_vxc;
     report.epochs = epoch + 1;
-    if (verbose && epoch % 200 == 0)
-      std::cout << "  [mlxc-train] epoch " << epoch << "  mse(Exc)=" << loss_exc
-                << "  mse(rho vxc)=" << loss_vxc << '\n';
+    if (epoch % 200 == 0)
+      DFTFE_LOG_AT(obs::level_for(verbose)) << "  [mlxc-train] epoch " << epoch
+                                            << "  mse(Exc)=" << loss_exc
+                                            << "  mse(rho vxc)=" << loss_vxc;
   }
   return report;
 }

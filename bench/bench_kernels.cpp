@@ -3,15 +3,26 @@
 // (gather + batched GEMM + assembly), mixed-precision GEMM, and the
 // FP32/FP64 wire pack. These are the building blocks whose throughputs the
 // table/figure benches aggregate.
+//
+// Unlike the plain BENCHMARK_MAIN() harness, this binary runs with a
+// reporter that mirrors every finished benchmark into the metrics registry
+// (wall time per iteration, user counters such as GFLOPS/GB/s, workspace
+// allocation counts) and writes BENCH_kernels.json on exit, so kernel
+// throughput is trackable across commits like the table benches.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "bench_common.hpp"
 #include "dd/exchange.hpp"
 #include "fe/cell_ops.hpp"
 #include "ks/hamiltonian.hpp"
 #include "la/batched.hpp"
 #include "la/blas.hpp"
 #include "la/mixed.hpp"
+#include "la/workspace.hpp"
+#include "obs/metrics.hpp"
 
 using namespace dftfe;
 
@@ -62,7 +73,13 @@ static void BM_HamiltonianApply(benchmark::State& state) {
   }();
   la::MatrixD X(dofh.ndofs(), bf), Y;
   for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.01 * i);
+  H.apply(X, Y);  // warm up persistent workspace buffers
+  la::WorkspaceCounters::reset();
   for (auto _ : state) H.apply(X, Y);
+  // Steady-state applies must be allocation-free: this counter is expected
+  // to stay 0 (also asserted by tests/test_workspace.cpp).
+  state.counters["ws_allocs"] =
+      benchmark::Counter(static_cast<double>(la::WorkspaceCounters::allocations()));
   state.counters["GFLOPS"] = benchmark::Counter(
       H.kinetic().flops_per_apply(bf) * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
@@ -92,4 +109,36 @@ static void BM_WirePack(benchmark::State& state) {
 }
 BENCHMARK(BM_WirePack)->Arg(64)->Arg(32);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally mirrors every finished run into the
+/// metrics registry: `bench.kernels.<name>.wall_s` (per-iteration wall time)
+/// plus one gauge per user counter (GFLOPS, GB/s, ws_allocs). Counter values
+/// arrive already finalized (rates divided by elapsed time).
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    auto& m = obs::MetricsRegistry::global();
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      std::string key = "bench.kernels." + run.benchmark_name();
+      for (char& c : key)
+        if (c == '/' || c == ':' || c == ' ') c = '.';
+      const double iters = std::max<double>(1.0, static_cast<double>(run.iterations));
+      m.gauge_set(key + ".wall_s", run.real_accumulated_time / iters);
+      for (const auto& kv : run.counters) m.gauge_set(key + "." + kv.first, kv.second);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench::write_bench_artifact("BENCH_kernels.json");
+  return 0;
+}

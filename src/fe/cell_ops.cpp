@@ -33,6 +33,11 @@ CellStiffness<T>::CellStiffness(const DofHandler& dofh, double coef_lap,
   if (has_k && !scalar_traits<T>::is_complex)
     throw std::invalid_argument("CellStiffness: k-points require a complex scalar type");
   k1_ = reference_stiffness_1d(dofh.nodes_per_cell_1d());
+  // Scalar-typed copy of the (symmetric) 1D stiffness: the GEMM operand of
+  // the sum-factorization contractions.
+  k1s_.resize(k1_.rows(), k1_.cols());
+  for (index_t j = 0; j < k1_.cols(); ++j)
+    for (index_t i = 0; i < k1_.rows(); ++i) k1s_(i, j) = T(k1_(i, j));
 
   const int n = dofh.nodes_per_cell_1d();
   const index_t nd = dofh.ndofs_per_cell();
@@ -111,7 +116,8 @@ template <class T>
 void CellStiffness<T>::apply_add(const la::Matrix<T>& X, la::Matrix<T>& Y) const {
   const index_t nd = dofh_->ndofs_per_cell();
   const index_t B = X.cols();
-  la::Matrix<T> Xc(nd, chunk_cells_ * B), Yc(nd, chunk_cells_ * B);
+  la::Matrix<T>& Xc = xc_.acquire(nd, chunk_cells_ * B);
+  la::Matrix<T>& Yc = yc_.acquire(nd, chunk_cells_ * B);
   for (const Group& g : groups_) {
     const index_t ncg = static_cast<index_t>(g.cells.size());
     for (index_t c0 = 0; c0 < ncg; c0 += chunk_cells_) {
@@ -146,6 +152,86 @@ void CellStiffness<T>::apply_add(const la::Matrix<T>& X, la::Matrix<T>& Y) const
 
 template <class T>
 void CellStiffness<T>::apply_add_sumfac(const la::Matrix<T>& X, la::Matrix<T>& Y) const {
+  if (has_bloch_)
+    throw std::logic_error("CellStiffness: sum factorization has no Bloch terms");
+  const int n = dofh_->nodes_per_cell_1d();
+  const index_t n2 = static_cast<index_t>(n) * n;
+  const index_t nd = dofh_->ndofs_per_cell();
+  const index_t B = X.cols();
+  const auto& w = dofh_->ref_weights();
+
+  // Gathered chunk of (cell, column) pairs, pair p = b * B + j. Each pair's
+  // cell-local vector u (one nd column of U) is contracted with the symmetric
+  // 1D stiffness K1 along each tensor direction via its three unfoldings:
+  //   Sx = K1 . U      (U as n x n^2, one GEMM per pair)
+  //   Sy = U_k . K1    (n x n slabs, n GEMMs per pair; K1 = K1^T)
+  //   Sz = U_(ij),m . K1  (U as n^2 x n, one GEMM per pair)
+  // all issued as strided-batched GEMMs across the whole chunk, so the batch
+  // dimension spans cells x columns. nd = n^3 makes the slab stride uniform
+  // (pair p, slab k lives at offset (p*n + k) * n^2).
+  const index_t max_pairs = chunk_cells_ * B;
+  la::Matrix<T>& U = sf_u_.acquire(nd, max_pairs);
+  la::Matrix<T>& Sx = sf_x_.acquire(nd, max_pairs);
+  la::Matrix<T>& Sy = sf_y_.acquire(nd, max_pairs);
+  la::Matrix<T>& Sz = sf_z_.acquire(nd, max_pairs);
+
+  for (const Group& g : groups_) {
+    const index_t ncg = static_cast<index_t>(g.cells.size());
+    for (index_t c0 = 0; c0 < ncg; c0 += chunk_cells_) {
+      const index_t nc = std::min(chunk_cells_, ncg - c0);
+      const index_t pairs = nc * B;
+      // Gather cell-local vectors.
+#pragma omp parallel for schedule(static)
+      for (index_t b = 0; b < nc; ++b) {
+        const index_t* dofs = cell_dof_map_.data() + g.cells[c0 + b] * nd;
+        for (index_t j = 0; j < B; ++j) {
+          const T* src = X.col(j);
+          T* dst = U.col(b * B + j);
+          for (index_t i = 0; i < nd; ++i) dst[i] = src[dofs[i]];
+        }
+      }
+      // x-direction: Sx[p] = K1 * U[p] with U[p] viewed as n x n^2.
+      la::gemm_strided_batched<T>('N', 'N', n, n2, n, T(1), k1s_.data(), n, 0, U.data(), n,
+                                  nd, T(0), Sx.data(), n, nd, pairs);
+      // y-direction: one n x n GEMM per (pair, z-slab), batch = pairs * n.
+      la::gemm_strided_batched<T>('N', 'N', n, n, n, T(1), U.data(), n, n2, k1s_.data(), n,
+                                  0, T(0), Sy.data(), n, n2, pairs * n);
+      // z-direction: Sz[p] = U[p] * K1 with U[p] viewed as n^2 x n.
+      la::gemm_strided_batched<T>('N', 'N', n2, n, n, T(1), U.data(), n2, nd, k1s_.data(), n,
+                                  0, T(0), Sz.data(), n2, nd, pairs);
+      // Weighted combination + assembly, fused into the scatter sweep
+      // (parallel over columns so no two threads write the same entry).
+      FlopCounter::global().add(6.0 * static_cast<double>(nd) * pairs *
+                                scalar_traits<T>::flop_factor);
+#pragma omp parallel for schedule(static)
+      for (index_t j = 0; j < B; ++j) {
+        T* dst = Y.col(j);
+        for (index_t b = 0; b < nc; ++b) {
+          const index_t* dofs = cell_dof_map_.data() + g.cells[c0 + b] * nd;
+          const index_t p = b * B + j;
+          const T* sx = Sx.col(p);
+          const T* sy = Sy.col(p);
+          const T* sz = Sz.col(p);
+          for (int kk = 0; kk < n; ++kk)
+            for (int jj = 0; jj < n; ++jj) {
+              const index_t off = n * (jj + n * kk);
+              const double cx = g.cxx * w[jj] * w[kk];
+              const double cy = g.cyy * w[kk];
+              const double cz = g.czz * w[jj];
+              const index_t* d = dofs + off;
+#pragma omp simd
+              for (int ii = 0; ii < n; ++ii)
+                dst[d[ii]] += T(cx) * sx[off + ii] +
+                              T(w[ii]) * (T(cy) * sy[off + ii] + T(cz) * sz[off + ii]);
+            }
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void CellStiffness<T>::apply_add_sumfac_scalar(const la::Matrix<T>& X, la::Matrix<T>& Y) const {
   if (has_bloch_)
     throw std::logic_error("CellStiffness: sum factorization has no Bloch terms");
   const int n = dofh_->nodes_per_cell_1d();
@@ -193,9 +279,15 @@ void CellStiffness<T>::apply_add_sumfac(const la::Matrix<T>& X, la::Matrix<T>& Y
 
 template <class T>
 void CellStiffness<T>::apply_add(const std::vector<T>& x, std::vector<T>& y) const {
+  // Allocation-free in steady state: this overload sits inside the Poisson
+  // CG and Lanczos bound iterations, which call it hundreds of times per SCF
+  // step.
   const index_t n = dofh_->ndofs();
-  la::Matrix<T> X(n, 1), Y(n, 1);
-  std::copy(x.begin(), x.end(), X.data());
+  la::Matrix<T>& X = xv_.acquire(n, 1);
+  la::Matrix<T>& Y = yv_.acquire_zeroed(n, 1);
+  // Copy exactly n entries: persistent scratch callers may pass vectors
+  // whose capacity-reused size exceeds ndofs.
+  std::copy(x.begin(), x.begin() + n, X.data());
   apply_add(X, Y);
   for (index_t i = 0; i < n; ++i) y[i] += Y(i, 0);
 }

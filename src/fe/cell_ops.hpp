@@ -25,6 +25,7 @@
 #include "fe/dofs.hpp"
 #include "la/batched.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::fe {
 
@@ -46,7 +47,17 @@ class CellStiffness {
   /// DFT-FE chooses the *dense* path on GPUs because batched GEMMs buy
   /// arithmetic intensity despite the extra FLOPs (Sec. 5.4.1); the
   /// cell-linalg ablation bench quantifies that trade-off here.
+  ///
+  /// The contractions are cast as three n x n^2 GEMMs per (cell, column)
+  /// pair — K1 against the three tensor unfoldings of the cell-local vector —
+  /// executed as strided-batched GEMMs over all pairs of a gathered chunk,
+  /// so parallelism spans cells x columns (the paper's cell-level GEMM
+  /// formulation) instead of columns only.
   void apply_add_sumfac(const la::Matrix<T>& X, la::Matrix<T>& Y) const;
+
+  /// Reference scalar-loop sum factorization (the pre-GEMM n^4 loop nest):
+  /// kept as the equivalence/bench baseline for the batched-GEMM rewrite.
+  void apply_add_sumfac_scalar(const la::Matrix<T>& X, la::Matrix<T>& Y) const;
   bool supports_sumfac() const { return !has_bloch_; }
 
   /// y += A x for a single vector.
@@ -73,8 +84,15 @@ class CellStiffness {
   std::vector<Group> groups_;
   std::vector<index_t> cell_dof_map_;  // ncells * ndofc global dof ids
   la::Matrix<double> k1_;              // 1D reference stiffness (sum factorization)
+  la::Matrix<T> k1s_;                  // same, in the operator scalar type (GEMM operand)
   bool has_bloch_ = false;
   index_t chunk_cells_ = 16;
+  // Persistent workspace (allocation-free steady state). Applies are const
+  // but reuse this scratch, so concurrent applies on one object are not
+  // supported — each thread/solver owns its operator instance.
+  mutable la::WorkMatrix<T> xc_, yc_;            // dense-path gather/scatter chunks
+  mutable la::WorkMatrix<T> sf_u_, sf_x_, sf_y_, sf_z_;  // sum-factorization stages
+  mutable la::WorkMatrix<T> xv_, yv_;            // single-vector apply
 };
 
 extern template class CellStiffness<double>;

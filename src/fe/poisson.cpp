@@ -78,8 +78,12 @@ la::SolveReport PoissonSolver::solve(const std::vector<double>& rho, std::vector
   for (index_t i = 0; i < n; ++i)
     rhs[i] = (bmask[i] != 0.0) ? 0.0 : 4.0 * kPi * mass[i] * rho[i] - Kg[i];
 
+  // Hoisted interior-masked copy: the operator runs once per CG iteration,
+  // so an allocation inside the lambda would defeat the zero-allocation
+  // steady state of the EP step.
+  std::vector<double> xm(n);
   auto op = [&](const std::vector<double>& x, std::vector<double>& y) {
-    std::vector<double> xm(x);
+    std::copy(x.begin(), x.begin() + n, xm.begin());
     for (const index_t b : dofh_->boundary_dofs()) xm[b] = 0.0;
     y.assign(n, 0.0);
     K_.apply_add(xm, y);

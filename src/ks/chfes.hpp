@@ -29,6 +29,7 @@
 #include "la/eig.hpp"
 #include "la/iterative.hpp"
 #include "la/mixed.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::ks {
 
@@ -84,7 +85,8 @@ class ChebyshevFilteredSolver {
 
   /// Max residual norm ||H x_i - eps_i x_i|| over the lowest `count` states.
   double max_residual(index_t count) const {
-    la::Matrix<T> W;
+    auto Wl = la::Workspace<T>::global().checkout(X_.rows(), X_.cols());
+    la::Matrix<T>& W = *Wl;
     H_->apply(X_, W);
     double worst = 0.0;
     for (index_t j = 0; j < std::min(count, X_.cols()); ++j) {
@@ -98,6 +100,61 @@ class ChebyshevFilteredSolver {
 
   double upper_bound() const { return b_; }
   double filter_lower_bound() const { return a_; }
+
+  /// Pin the filter interval [a, b] and the wanted-edge estimate a0 directly,
+  /// bypassing the Lanczos/Ritz bound update. For equivalence tests and
+  /// benches that drive filter() standalone with a reproducible interval.
+  void set_bounds(double a, double b, double a0) {
+    a_ = a;
+    b_ = b;
+    a0_ = a0;
+    have_bounds_ = true;
+  }
+
+  /// Chebyshev polynomial filtering of the current subspace in column blocks
+  /// of B_f (the CF step). Public so equivalence tests and benches can drive
+  /// it standalone; cycle() remains the normal entry point.
+  ///
+  /// The scaled-and-shifted recurrence (Zhou et al. [44]) runs on three
+  /// persistent ping-pong blocks with the shift-scale update fused into the
+  /// Hamiltonian apply epilogue and a pointer rotation in place of the old
+  /// per-degree copy sweep — steady-state filtering is allocation- and
+  /// copy-free beyond the block gather/scatter at the ends.
+  void filter() {
+    obs::TraceSpan timer("CF", "chfes");
+    ScopedFlopStep step("CF");
+    cf_timings_.clear();
+    const index_t n = X_.rows(), N = X_.cols();
+    const index_t Bf = std::min(opt_.block_size, N);
+    const double e = (b_ - a_) / 2.0, c = (b_ + a_) / 2.0;
+    la::Matrix<T>* Xb = &cf_x_.acquire(n, Bf);
+    la::Matrix<T>* Yb = &cf_y_.acquire(n, Bf);
+    la::Matrix<T>* Zb = &cf_z_.acquire(n, Bf);
+    for (index_t j0 = 0; j0 < N; j0 += Bf) {
+      Timer block_timer;
+      const index_t nb = std::min(Bf, N - j0);
+      Xb->reshape(n, nb);
+      for (index_t j = 0; j < nb; ++j)
+        std::copy(X_.col(j0 + j), X_.col(j0 + j) + n, Xb->col(j));
+      double sigma = e / (a0_ - c);
+      const double sigma1 = sigma;
+      H_->apply_fused(*Xb, *Yb, c, sigma1 / e, nullptr, 0.0);
+      for (int k = 2; k <= opt_.cheb_degree; ++k) {
+        const double sigma2 = 1.0 / (2.0 / sigma1 - sigma);
+        // Zb = (H Yb - c Yb) * (2 sigma2 / e) - (sigma sigma2) Xb, then
+        // rotate (Xb, Yb, Zb) <- (Yb, Zb, Xb).
+        H_->apply_fused(*Yb, *Zb, c, 2.0 * sigma2 / e, Xb, sigma * sigma2);
+        la::Matrix<T>* t = Xb;
+        Xb = Yb;
+        Yb = Zb;
+        Zb = t;
+        sigma = sigma2;
+      }
+      for (index_t j = 0; j < nb; ++j)
+        std::copy(Yb->col(j), Yb->col(j) + n, X_.col(j0 + j));
+      cf_timings_.push_back({block_timer.seconds(), 0.0});
+    }
+  }
 
  private:
   void update_bounds() {
@@ -121,142 +178,75 @@ class ChebyshevFilteredSolver {
     }
   }
 
-  void filter() {
-    obs::TraceSpan timer("CF", "chfes");
-    ScopedFlopStep step("CF");
-    cf_timings_.clear();
-    const index_t n = X_.rows(), N = X_.cols();
-    const index_t Bf = std::min(opt_.block_size, N);
-    const double e = (b_ - a_) / 2.0, c = (b_ + a_) / 2.0;
-    for (index_t j0 = 0; j0 < N; j0 += Bf) {
-      Timer block_timer;
-      const index_t nb = std::min(Bf, N - j0);
-      la::Matrix<T> Xb(n, nb), Yb(n, nb), Hy(n, nb);
-      for (index_t j = 0; j < nb; ++j)
-        std::copy(X_.col(j0 + j), X_.col(j0 + j) + n, Xb.col(j));
-      // Scaled-and-shifted Chebyshev recurrence (Zhou et al. [44]).
-      double sigma = e / (a0_ - c);
-      const double sigma1 = sigma;
-      H_->apply(Xb, Yb);
-#pragma omp parallel for
-      for (index_t j = 0; j < nb; ++j)
-        for (index_t i = 0; i < n; ++i)
-          Yb(i, j) = (Yb(i, j) - T(c) * Xb(i, j)) * T(sigma1 / e);
-      for (int k = 2; k <= opt_.cheb_degree; ++k) {
-        const double sigma2 = 1.0 / (2.0 / sigma1 - sigma);
-        H_->apply(Yb, Hy);
-#pragma omp parallel for
-        for (index_t j = 0; j < nb; ++j)
-          for (index_t i = 0; i < n; ++i) {
-            const T ynew =
-                (Hy(i, j) - T(c) * Yb(i, j)) * T(2.0 * sigma2 / e) - T(sigma * sigma2) * Xb(i, j);
-            Xb(i, j) = Yb(i, j);
-            Yb(i, j) = ynew;
-          }
-        sigma = sigma2;
-      }
-      for (index_t j = 0; j < nb; ++j)
-        std::copy(Yb.col(j), Yb.col(j) + n, X_.col(j0 + j));
-      cf_timings_.push_back({block_timer.seconds(), 0.0});
-    }
-  }
-
-  /// S = X^H X with FP64 diagonal / FP32 off-diagonal blocks (mixed mode).
-  la::Matrix<T> overlap_mixed(const la::Matrix<T>& A, const la::Matrix<T>& B,
-                              const char* flop_step) const {
+  /// S = A^H B with FP64 diagonal / FP32 off-diagonal blocks (mixed mode);
+  /// only the upper block triangle is computed and the rest mirrored
+  /// (la::overlap_hermitian_mixed), halving the CholGS-S / RR-P GEMM work.
+  void overlap(const char* flop_step, const la::Matrix<T>& A, const la::Matrix<T>& B,
+               la::Matrix<T>& S) const {
     ScopedFlopStep step(flop_step);
-    const index_t n = A.rows(), N = A.cols();
-    la::Matrix<T> S(N, N);
-    if (!opt_.mixed_precision) {
-      la::gemm('C', 'N', T(1), A, B, T(0), S);
-      return S;
-    }
-    const index_t nb = std::min(opt_.mp_block, N);
-    for (index_t I = 0; I < N; I += nb) {
-      const index_t ni = std::min(nb, N - I);
-      for (index_t J = 0; J < N; J += nb) {
-        const index_t nj = std::min(nb, N - J);
-        if (I == J) {
-          la::gemm<T>('C', 'N', ni, nj, n, T(1), A.col(I), n, B.col(J), n, T(0),
-                      S.data() + I + J * N, N);
-        } else {
-          // The inner FP32 GEMM self-counts at the full analytic rate
-          // (Sec. 6.3 does not discount reduced-precision FLOPs).
-          la::gemm_low_precision<T>('C', 'N', ni, nj, n, A.col(I), n, B.col(J), n,
-                                    S.data() + I + J * N, N);
-        }
-      }
-    }
-    return S;
+    la::overlap_hermitian_mixed(A, B, S, opt_.mp_block, opt_.mixed_precision);
   }
 
   void orthonormalize() {
     const index_t n = X_.rows(), N = X_.cols();
-    la::Matrix<T> S;
+    auto& ws = la::Workspace<T>::global();
+    auto S = ws.checkout(N, N);
     {
       obs::TraceSpan t("CholGS-S", "chfes");
-      S = overlap_mixed(X_, X_, "CholGS-S");
-      // Clean FP32 asymmetry: S <- (S + S^H)/2.
-      for (index_t j = 0; j < N; ++j)
-        for (index_t i = 0; i < j; ++i) {
-          const T avg = (S(i, j) + scalar_traits<T>::conj(S(j, i))) * T(0.5);
-          S(i, j) = avg;
-          S(j, i) = scalar_traits<T>::conj(avg);
-        }
+      overlap("CholGS-S", X_, X_, *S);
     }
     {
       obs::TraceSpan t("CholGS-CI", "chfes");
       ScopedFlopStep step("CholGS-CI");
-      if (!la::cholesky_lower(S)) {
-        // Filtered vectors became numerically dependent (can happen on the
-        // very first random pass): fall back to diagonal regularization.
-        la::Matrix<T> S2 = overlap_mixed(X_, X_, "CholGS-S");
-        for (index_t i = 0; i < N; ++i) S2(i, i) += T(1e-10 * std::abs(S2(i, i)) + 1e-14);
-        S = S2;
-        if (!la::cholesky_lower(S))
+      // Keep a copy of S so a Cholesky breakdown (filtered vectors can become
+      // numerically dependent on the very first random pass) retries on the
+      // *same* overlap with diagonal regularization — recomputing it would
+      // double both the cost and the FLOP attribution of CholGS-S.
+      auto S0 = ws.checkout(N, N);
+      std::copy(S->data(), S->data() + S->size(), S0->data());
+      if (!la::cholesky_lower(*S)) {
+        std::copy(S0->data(), S0->data() + S0->size(), S->data());
+        for (index_t i = 0; i < N; ++i)
+          (*S)(i, i) += T(1e-10 * std::abs((*S0)(i, i)) + 1e-14);
+        if (!la::cholesky_lower(*S))
           throw std::runtime_error("ChFES: overlap matrix not positive definite");
       }
-      la::invert_lower_triangular(S);  // S now holds L^{-1}
+      la::invert_lower_triangular(*S);  // S now holds L^{-1}
     }
     {
       obs::TraceSpan t("CholGS-O", "chfes");
       ScopedFlopStep step("CholGS-O");
-      la::Matrix<T> Xo(n, N);
-      la::gemm('N', 'C', T(1), X_, S, T(0), Xo);  // X L^{-H}
-      X_ = std::move(Xo);
+      auto Xo = ws.checkout(n, N);
+      la::gemm('N', 'C', T(1), X_, *S, T(0), *Xo);  // X L^{-H}
+      Xo.swap(X_);  // allocation-free rotation; old storage returns to pool
     }
   }
 
   void rayleigh_ritz() {
     const index_t n = X_.rows(), N = X_.cols();
-    la::Matrix<T> W;
-    la::Matrix<T> P;
+    auto& ws = la::Workspace<T>::global();
+    auto P = ws.checkout(N, N);
     {
       obs::TraceSpan t("RR-P", "chfes");
+      auto W = ws.checkout(n, N);
       {
         ScopedFlopStep step("RR-P");  // H X counts toward the projection step
-        H_->apply(X_, W);
+        H_->apply(X_, *W);
       }
-      P = overlap_mixed(X_, W, "RR-P");
-      for (index_t j = 0; j < N; ++j)
-        for (index_t i = 0; i < j; ++i) {
-          const T avg = (P(i, j) + scalar_traits<T>::conj(P(j, i))) * T(0.5);
-          P(i, j) = avg;
-          P(j, i) = scalar_traits<T>::conj(avg);
-        }
+      overlap("RR-P", X_, *W, *P);
     }
-    la::Matrix<T> Q;
+    auto Q = ws.checkout(N, N);
     {
       obs::TraceSpan t("RR-D", "chfes");
       ScopedFlopStep step("RR-D");
-      la::hermitian_eig(P, evals_, Q);
+      la::hermitian_eig(*P, evals_, *Q);
     }
     {
       obs::TraceSpan t("RR-SR", "chfes");
       ScopedFlopStep step("RR-SR");
-      la::Matrix<T> Xr(n, N);
-      la::gemm('N', 'N', T(1), X_, Q, T(0), Xr);
-      X_ = std::move(Xr);
+      auto Xr = ws.checkout(n, N);
+      la::gemm('N', 'N', T(1), X_, *Q, T(0), *Xr);
+      Xr.swap(X_);
     }
   }
 
@@ -267,6 +257,9 @@ class ChebyshevFilteredSolver {
   std::vector<dd::BlockTiming> cf_timings_;
   double a_ = 0.0, b_ = 0.0, a0_ = 0.0;
   bool have_bounds_ = false;
+  // Persistent Chebyshev ping-pong blocks (n x B_f each); roles rotate by
+  // pointer inside filter(), ownership stays here.
+  la::WorkMatrix<T> cf_x_, cf_y_, cf_z_;
 };
 
 }  // namespace dftfe::ks

@@ -30,6 +30,7 @@
 #include "fe/cell_ops.hpp"
 #include "fe/dofs.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::ks {
 
@@ -56,31 +57,66 @@ class Hamiltonian {
   fe::CellStiffness<T>& kinetic() { return kinetic_; }
 
   /// Y = H X for a block of vectors (boundary components projected out).
+  /// Allocation-free in steady state: scratch lives in persistent workspace
+  /// buffers and Y is reshaped in place (callers pass persistent blocks).
   void apply(const la::Matrix<T>& X, la::Matrix<T>& Y) const {
+    apply_fused(X, Y, 0.0, 1.0, nullptr, 0.0);
+  }
+
+  /// Fused Chebyshev step:  Y = scale * (H X - c X) - zc * Z  (Z optional).
+  /// The shift-scale-subtract update of the Chebyshev recurrence (Zhou et
+  /// al.) is folded into the same epilogue sweep that applies the inverse
+  /// mass scaling, the local potential, and the boundary projection — one
+  /// pass over Y instead of an apply followed by a separate copy sweep.
+  void apply_fused(const la::Matrix<T>& X, la::Matrix<T>& Y, double c, double scale,
+                   const la::Matrix<T>* Z, double zc) const {
     const index_t n = X.rows(), B = X.cols();
     const auto& bmask = dofh_->boundary_mask();
-    scaled_.resize(n, B);
+    la::Matrix<T>& S = scaled_.acquire(n, B);
 #pragma omp parallel for
     for (index_t j = 0; j < B; ++j)
       for (index_t i = 0; i < n; ++i)
-        scaled_(i, j) = X(i, j) * T(inv_sqrt_mass_[i] * (1.0 - bmask[i]));
-    Y.resize(n, B);
+        S(i, j) = X(i, j) * T(inv_sqrt_mass_[i] * (1.0 - bmask[i]));
+    Y.reshape(n, B);
     Y.zero();
-    kinetic_.apply_add(scaled_, Y);
+    kinetic_.apply_add(S, Y);
+    if (Z == nullptr && c == 0.0 && scale == 1.0) {
 #pragma omp parallel for
-    for (index_t j = 0; j < B; ++j)
-      for (index_t i = 0; i < n; ++i)
-        Y(i, j) = (Y(i, j) * T(inv_sqrt_mass_[i]) + T(v_eff_[i]) * X(i, j)) *
-                  T(1.0 - bmask[i]);
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = 0; i < n; ++i)
+          Y(i, j) = (Y(i, j) * T(inv_sqrt_mass_[i]) + T(v_eff_[i]) * X(i, j)) *
+                    T(1.0 - bmask[i]);
+    } else if (Z == nullptr) {
+#pragma omp parallel for
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = 0; i < n; ++i) {
+          const T h = (Y(i, j) * T(inv_sqrt_mass_[i]) + T(v_eff_[i]) * X(i, j)) *
+                      T(1.0 - bmask[i]);
+          Y(i, j) = T(scale) * (h - T(c) * X(i, j));
+        }
+    } else {
+#pragma omp parallel for
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = 0; i < n; ++i) {
+          const T h = (Y(i, j) * T(inv_sqrt_mass_[i]) + T(v_eff_[i]) * X(i, j)) *
+                      T(1.0 - bmask[i]);
+          Y(i, j) = T(scale) * (h - T(c) * X(i, j)) - T(zc) * (*Z)(i, j);
+        }
+    }
     if (exchange_ != nullptr) exchange_->exchange(Y);
   }
 
-  /// y = H x for a single vector.
+  /// y = H x for a single vector (Lanczos/MINRES path); allocation-free in
+  /// steady state via persistent single-column workspace buffers.
   void apply(const std::vector<T>& x, std::vector<T>& y) const {
-    la::Matrix<T> X(n(), 1), Y;
-    std::copy(x.begin(), x.end(), X.data());
+    la::Matrix<T>& X = vec_in_.acquire(n(), 1);
+    // Copy exactly n entries: callers may hand persistent scratch vectors
+    // whose capacity-reused size exceeds the operator dimension.
+    std::copy(x.begin(), x.begin() + n(), X.data());
+    la::Matrix<T>& Y = vec_out_.acquire(n(), 1);
     apply(X, Y);
-    y.assign(Y.data(), Y.data() + n());
+    y.resize(static_cast<std::size_t>(n()));
+    std::copy(Y.data(), Y.data() + n(), y.begin());
   }
 
   /// Diagonal of the scaled Laplacian part plus potential: the Jacobi-style
@@ -102,7 +138,11 @@ class Hamiltonian {
   std::vector<double> inv_sqrt_mass_;
   std::vector<double> v_eff_;
   dd::BoundaryExchange<T>* exchange_ = nullptr;
-  mutable la::Matrix<T> scaled_;
+  // Persistent workspace: block applies are const but reuse this scratch, so
+  // concurrent applies on one Hamiltonian are not supported (each k-point /
+  // thread owns its own instance, as the SCF driver already arranges).
+  mutable la::WorkMatrix<T> scaled_;
+  mutable la::WorkMatrix<T> vec_in_, vec_out_;
 };
 
 }  // namespace dftfe::ks

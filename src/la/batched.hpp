@@ -24,7 +24,12 @@ void gemm_strided_batched(char transa, char transb, index_t m, index_t n, index_
                           const T* A, index_t lda, index_t strideA, const T* B, index_t ldb,
                           index_t strideB, T beta, T* C, index_t ldc, index_t strideC,
                           index_t batch) {
-  FlopCounter::global().add(2.0 * m * n * k * batch * scalar_traits<T>::flop_factor);
+  if (m <= 0 || n <= 0 || batch <= 0) return;
+  const bool degenerate = (k <= 0 || alpha == T{});
+  // Count only when multiply-add work actually happens: degenerate calls
+  // (empty inner extent or alpha == 0) only perform the beta scaling below.
+  if (!degenerate)
+    FlopCounter::global().add(2.0 * m * n * k * batch * scalar_traits<T>::flop_factor);
 
   const bool ta = (transa == 'T' || transa == 'C');
   const bool ca = (transa == 'C');
@@ -54,6 +59,7 @@ void gemm_strided_batched(char transa, char transb, index_t m, index_t n, index_
         for (index_t i = 0; i < m; ++i) c[i] *= beta;
       }
     }
+    if (degenerate) continue;
     // Fast path 'N','N': 4-column micro-kernel so each loaded A column
     // feeds four outputs (this is where the block-size-dependent arithmetic
     // intensity of the cell-level GEMMs comes from).
@@ -69,6 +75,7 @@ void gemm_strided_batched(char transa, char transb, index_t m, index_t n, index_
           const T* a = Ab + kk * lda;
           const T v0 = alpha * b0[kk], v1 = alpha * b0[kk + ldb],
                   v2 = alpha * b0[kk + 2 * ldb], v3 = alpha * b0[kk + 3 * ldb];
+#pragma omp simd
           for (index_t i = 0; i < m; ++i) {
             const T ai = a[i];
             c0[i] += ai * v0;
@@ -84,6 +91,7 @@ void gemm_strided_batched(char transa, char transb, index_t m, index_t n, index_
         for (index_t kk = 0; kk < k; ++kk) {
           const T* a = Ab + kk * lda;
           const T bv = alpha * bj[kk];
+#pragma omp simd
           for (index_t i = 0; i < m; ++i) c[i] += a[i] * bv;
         }
       }

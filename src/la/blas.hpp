@@ -22,6 +22,7 @@
 #include "base/defs.hpp"
 #include "base/flops.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::la {
 
@@ -43,6 +44,22 @@ inline constexpr index_t kMC = 96;
 inline constexpr index_t kNC = 96;
 inline constexpr index_t kKC = 192;
 
+/// Persistent per-(thread, scalar) packing panels: allocated once per thread
+/// on first use and reused by every subsequent gemm call, so steady-state
+/// GEMMs never touch the heap (the allocation is workspace-counted).
+template <class T>
+inline T* pack_panel_a() {
+  static thread_local std::vector<T> ap;
+  if (ap.empty()) ensure_scratch(ap, static_cast<std::size_t>(kMC * kKC));
+  return ap.data();
+}
+template <class T>
+inline T* pack_panel_b() {
+  static thread_local std::vector<T> bp;
+  if (bp.empty()) ensure_scratch(bp, static_cast<std::size_t>(kKC * kNC));
+  return bp.data();
+}
+
 }  // namespace detail
 
 /// C (m x n) = alpha * op(A) * op(B) + beta * C.
@@ -52,8 +69,6 @@ template <class T>
 void gemm(char transa, char transb, index_t m, index_t n, index_t k, T alpha, const T* A,
           index_t lda, const T* B, index_t ldb, T beta, T* C, index_t ldc) {
   if (m <= 0 || n <= 0) return;
-  FlopCounter::global().add(2.0 * static_cast<double>(m) * static_cast<double>(n) *
-                            static_cast<double>(k) * scalar_traits<T>::flop_factor);
 
   const bool ta = (transa == 'T' || transa == 'C');
   const bool ca = (transa == 'C');
@@ -77,13 +92,18 @@ void gemm(char transa, char transb, index_t m, index_t n, index_t k, T alpha, co
     }
   }
   if (k <= 0 || alpha == T{}) return;
+  // Count only when multiply-add work actually happens (degenerate calls —
+  // empty extents or alpha == 0 — returned above without doing 2mnk work).
+  FlopCounter::global().add(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                            static_cast<double>(k) * scalar_traits<T>::flop_factor);
 
   const index_t mtiles = (m + kMC - 1) / kMC;
   const index_t ntiles = (n + kNC - 1) / kNC;
 
 #pragma omp parallel
   {
-    std::vector<T> Ap(kMC * kKC), Bp(kKC * kNC);
+    T* const Ap = detail::pack_panel_a<T>();
+    T* const Bp = detail::pack_panel_b<T>();
 #pragma omp for collapse(2) schedule(dynamic)
     for (index_t jt = 0; jt < ntiles; ++jt) {
       for (index_t it = 0; it < mtiles; ++it) {
@@ -93,7 +113,7 @@ void gemm(char transa, char transb, index_t m, index_t n, index_t k, T alpha, co
           const index_t kb = std::min(kKC, k - k0);
           // Pack op(A)[i0:i0+mb, k0:k0+kb] into Ap, col-major mb x kb.
           for (index_t kk = 0; kk < kb; ++kk) {
-            T* dst = Ap.data() + kk * mb;
+            T* dst = Ap + kk * mb;
             if (!ta) {
               const T* src = A + (i0) + (k0 + kk) * lda;
               for (index_t i = 0; i < mb; ++i) dst[i] = src[i];
@@ -105,7 +125,7 @@ void gemm(char transa, char transb, index_t m, index_t n, index_t k, T alpha, co
           // Pack op(B)[k0:k0+kb, j0:j0+nb] into Bp, col-major kb x nb, scaled
           // by alpha.
           for (index_t jj = 0; jj < nb; ++jj) {
-            T* dst = Bp.data() + jj * kb;
+            T* dst = Bp + jj * kb;
             if (!tb) {
               const T* src = B + k0 + (j0 + jj) * ldb;
               for (index_t kk = 0; kk < kb; ++kk) dst[kk] = alpha * src[kk];
@@ -115,28 +135,38 @@ void gemm(char transa, char transb, index_t m, index_t n, index_t k, T alpha, co
                 dst[kk] = alpha * detail::maybe_conj(src[kk * ldb], cb);
             }
           }
-          // Micro-kernel: C_tile += Ap * Bp, unrolled 2 columns at a time.
+          // Micro-kernel: C_tile += Ap * Bp, 4-column register blocking so
+          // each packed A column feeds four accumulating output columns.
           index_t jj = 0;
-          for (; jj + 1 < nb; jj += 2) {
+          for (; jj + 3 < nb; jj += 4) {
             T* c0 = C + i0 + (j0 + jj) * ldc;
             T* c1 = c0 + ldc;
-            const T* b0 = Bp.data() + jj * kb;
+            T* c2 = c1 + ldc;
+            T* c3 = c2 + ldc;
+            const T* b0 = Bp + jj * kb;
             const T* b1 = b0 + kb;
+            const T* b2 = b1 + kb;
+            const T* b3 = b2 + kb;
             for (index_t kk = 0; kk < kb; ++kk) {
-              const T* a = Ap.data() + kk * mb;
-              const T bv0 = b0[kk], bv1 = b1[kk];
+              const T* a = Ap + kk * mb;
+              const T bv0 = b0[kk], bv1 = b1[kk], bv2 = b2[kk], bv3 = b3[kk];
+#pragma omp simd
               for (index_t i = 0; i < mb; ++i) {
-                c0[i] += a[i] * bv0;
-                c1[i] += a[i] * bv1;
+                const T ai = a[i];
+                c0[i] += ai * bv0;
+                c1[i] += ai * bv1;
+                c2[i] += ai * bv2;
+                c3[i] += ai * bv3;
               }
             }
           }
           for (; jj < nb; ++jj) {
             T* c0 = C + i0 + (j0 + jj) * ldc;
-            const T* b0 = Bp.data() + jj * kb;
+            const T* b0 = Bp + jj * kb;
             for (index_t kk = 0; kk < kb; ++kk) {
-              const T* a = Ap.data() + kk * mb;
+              const T* a = Ap + kk * mb;
               const T bv0 = b0[kk];
+#pragma omp simd
               for (index_t i = 0; i < mb; ++i) c0[i] += a[i] * bv0;
             }
           }

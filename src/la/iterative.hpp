@@ -18,6 +18,7 @@
 #include "base/defs.hpp"
 #include "la/blas.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::la {
 
@@ -36,7 +37,14 @@ SolveReport pcg(const std::function<void(const std::vector<T>&, std::vector<T>&)
                 const std::vector<T>& b, std::vector<T>& x, double tol = 1e-10,
                 int maxit = 2000) {
   const index_t n = static_cast<index_t>(b.size());
-  std::vector<T> r(n), z(n), p(n), Ap(n);
+  // Thread-local persistent Krylov scratch: the Poisson solve runs every SCF
+  // iteration, so per-call allocation here would break the steady-state
+  // zero-allocation invariant of the hot path.
+  static thread_local std::vector<T> r, z, p, Ap;
+  ensure_scratch(r, static_cast<std::size_t>(n));
+  ensure_scratch(z, static_cast<std::size_t>(n));
+  ensure_scratch(p, static_cast<std::size_t>(n));
+  ensure_scratch(Ap, static_cast<std::size_t>(n));
   op(x, Ap);
   for (index_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
   const double bnorm = std::max(nrm2(n, b.data()), 1e-300);
@@ -182,7 +190,13 @@ SolveReport block_minres(const std::function<void(const Matrix<T>&, Matrix<T>&)>
 template <class T>
 double lanczos_upper_bound(const std::function<void(const std::vector<T>&, std::vector<T>&)>& op,
                            index_t n, int steps = 12, unsigned seed = 1234) {
-  std::vector<T> v(n), vprev(n, T{}), w(n);
+  // Persistent scratch: called once per SCF iteration to rebound the
+  // Chebyshev interval, so it must not allocate in steady state.
+  static thread_local std::vector<T> v, vprev, w;
+  ensure_scratch(v, static_cast<std::size_t>(n));
+  ensure_scratch(vprev, static_cast<std::size_t>(n));
+  ensure_scratch(w, static_cast<std::size_t>(n));
+  std::fill(vprev.begin(), vprev.end(), T{});
   std::mt19937_64 gen(seed);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
   for (index_t i = 0; i < n; ++i) v[i] = T(dist(gen));

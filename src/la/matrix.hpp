@@ -46,6 +46,20 @@ class Matrix {
     cols_ = cols;
     data_.assign(static_cast<std::size_t>(rows * cols), T{});
   }
+  /// Reshape without value-initializing reused storage: no reallocation when
+  /// the underlying capacity suffices (workspace buffers rely on this for
+  /// allocation-free steady state). Contents are unspecified — callers must
+  /// overwrite, or call zero() explicitly.
+  void reshape(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
+  void swap(Matrix& o) noexcept {
+    std::swap(rows_, o.rows_);
+    std::swap(cols_, o.cols_);
+    data_.swap(o.data_);
+  }
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
   void zero() { fill(T{}); }
 

@@ -9,12 +9,14 @@
 //    off-diagonal entries go to zero, so single precision there does not
 //    perturb the result beyond the discretization error.
 
+#include <algorithm>
 #include <complex>
 #include <vector>
 
 #include "base/defs.hpp"
 #include "la/blas.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace dftfe::la {
 
@@ -54,17 +56,67 @@ void gemm_low_precision(char transa, char transb, index_t m, index_t n, index_t 
                         const T* A, index_t lda, const T* B, index_t ldb, T* C, index_t ldc) {
   using L = low_precision_t<T>;
   // Demote the referenced panels. For simplicity the full stored extents of
-  // op(A)/op(B) panels are converted.
+  // op(A)/op(B) panels are converted. Demotion scratch is thread-local and
+  // grow-only (workspace-counted), so steady-state calls are allocation-free.
   const index_t acols = (transa == 'N') ? k : m;
   const index_t bcols = (transb == 'N') ? n : k;
-  std::vector<L> Af(static_cast<std::size_t>(lda) * acols),
-      Bf(static_cast<std::size_t>(ldb) * bcols), Cf(static_cast<std::size_t>(m) * n);
+  static thread_local std::vector<L> Af, Bf, Cf;
+  ensure_scratch(Af, static_cast<std::size_t>(lda) * acols);
+  ensure_scratch(Bf, static_cast<std::size_t>(ldb) * bcols);
+  ensure_scratch(Cf, static_cast<std::size_t>(m) * n);
   demote(A, Af.data(), lda * acols);
   demote(B, Bf.data(), ldb * bcols);
   gemm<L>(transa, transb, m, n, k, L(1), Af.data(), lda, Bf.data(), ldb, L(0), Cf.data(), m);
 #pragma omp parallel for if (n > 4)
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < m; ++i) C[i + j * ldc] = static_cast<T>(Cf[i + j * m]);
+}
+
+/// S = A^H B computed blockwise for a Hermitian result (A == B, or B = H A
+/// with H Hermitian — both overlap uses of Algorithm 1). Only blocks I <= J
+/// are evaluated — FP64 on the diagonal, reduced precision off the diagonal
+/// when `mixed` (Sec. 5.4.2) — and the strict lower triangle is mirrored,
+/// halving the CholGS-S / RR-P GEMM work. Entries inside diagonal blocks are
+/// averaged with their mirror so the returned S is Hermitian to the last bit.
+template <class T>
+void overlap_hermitian_mixed(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& S,
+                             index_t mp_block, bool mixed) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols());
+  const index_t n = A.rows(), N = A.cols();
+  S.reshape(N, N);
+  const index_t nb = std::max<index_t>(1, std::min(mp_block, N));
+  const index_t nblk = (N + nb - 1) / nb;
+  // Block pairs are independent writes; gemm's internal parallel region
+  // degrades to a single-thread team when nested, so the outer collapse is
+  // the effective parallelization across block pairs.
+#pragma omp parallel for collapse(2) schedule(dynamic) if (nblk > 1)
+  for (index_t bi = 0; bi < nblk; ++bi)
+    for (index_t bj = 0; bj < nblk; ++bj) {
+      if (bj < bi) continue;
+      const index_t I = bi * nb, ni = std::min(nb, N - I);
+      const index_t J = bj * nb, nj = std::min(nb, N - J);
+      if (bi == bj || !mixed) {
+        gemm<T>('C', 'N', ni, nj, n, T(1), A.col(I), n, B.col(J), n, T(0),
+                S.data() + I + J * N, N);
+      } else {
+        // The inner FP32 GEMM self-counts at the full analytic rate
+        // (Sec. 6.3 does not discount reduced-precision FLOPs).
+        gemm_low_precision<T>('C', 'N', ni, nj, n, A.col(I), n, B.col(J), n,
+                              S.data() + I + J * N, N);
+      }
+    }
+  // Hermitian completion: average within diagonal blocks (both mirror entries
+  // were computed), conjugate-mirror everything else.
+  for (index_t j = 0; j < N; ++j)
+    for (index_t i = 0; i < j; ++i) {
+      if (i / nb == j / nb) {
+        const T avg = (S(i, j) + scalar_traits<T>::conj(S(j, i))) * T(0.5);
+        S(i, j) = avg;
+        S(j, i) = scalar_traits<T>::conj(avg);
+      } else {
+        S(j, i) = scalar_traits<T>::conj(S(i, j));
+      }
+    }
 }
 
 }  // namespace dftfe::la

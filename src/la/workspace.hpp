@@ -1,0 +1,243 @@
+#pragma once
+
+// Reusable workspace layer for the SCF hot path (paper Sec. 5.4.1): the
+// cell-level batched GEMMs, the Chebyshev filter, and the orthonormalization /
+// Rayleigh-Ritz cycles are applied thousands of times per solve, and a heap
+// allocation per apply would dominate the small-block regime the CF-blocksize
+// ablation explores. Every scratch buffer in the hot path is therefore either
+//
+//  * a persistent `WorkMatrix` member (Hamiltonian scaled/vector buffers,
+//    CellStiffness gather/scatter chunks, ChFES filter ping-pong blocks), or
+//  * an arena checkout from the global `Workspace<T>` pool (transient
+//    per-cycle buffers: overlap/projection matrices, rotation outputs), or
+//  * a thread-local persistent panel (`gemm` packing buffers, mixed-precision
+//    demotion scratch).
+//
+// All three routes report through `WorkspaceCounters`, so tests can assert the
+// steady-state invariant directly: after the first SCF iteration has warmed
+// the pools, later iterations check out zero fresh heap buffers.
+//
+// Ownership rules (see DESIGN.md "Hot-path memory & kernel architecture"):
+//  * WorkMatrix buffers belong to exactly one object and are sized by
+//    `acquire`; contents are unspecified on acquire and must be overwritten.
+//  * Pool leases return their buffer on destruction; never hold a lease
+//    across a call that may itself check out (deadlock-free — the pool just
+//    grows — but defeats reuse).
+//  * Thread-local scratch is per (thread, scalar type) and grow-only.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "la/matrix.hpp"
+
+namespace dftfe::la {
+
+/// Process-wide instrumentation of workspace-managed buffers. `allocations()`
+/// counts fresh heap growth events (a buffer created or grown past its
+/// high-water mark); `checkouts()` counts acquire/checkout calls regardless of
+/// whether they allocated. The zero-allocation test hook: warm up, `reset()`,
+/// run more iterations, assert `allocations() == 0`.
+class WorkspaceCounters {
+ public:
+  static void note_alloc(std::int64_t bytes) {
+    allocs().fetch_add(1, std::memory_order_relaxed);
+    alloc_bytes().fetch_add(bytes, std::memory_order_relaxed);
+  }
+  static void note_checkout() { checkout_count().fetch_add(1, std::memory_order_relaxed); }
+
+  static std::int64_t allocations() { return allocs().load(std::memory_order_relaxed); }
+  static std::int64_t bytes_allocated() {
+    return alloc_bytes().load(std::memory_order_relaxed);
+  }
+  static std::int64_t checkouts() {
+    return checkout_count().load(std::memory_order_relaxed);
+  }
+  static void reset() {
+    allocs().store(0, std::memory_order_relaxed);
+    alloc_bytes().store(0, std::memory_order_relaxed);
+    checkout_count().store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<std::int64_t>& allocs() {
+    static std::atomic<std::int64_t> v{0};
+    return v;
+  }
+  static std::atomic<std::int64_t>& alloc_bytes() {
+    static std::atomic<std::int64_t> v{0};
+    return v;
+  }
+  static std::atomic<std::int64_t>& checkout_count() {
+    static std::atomic<std::int64_t> v{0};
+    return v;
+  }
+};
+
+/// A persistent matrix-shaped scratch buffer owned by one object. `acquire`
+/// reshapes in place reusing storage; it allocates (and counts) only when the
+/// requested size exceeds the high-water mark. Contents after `acquire` are
+/// unspecified — callers must fully overwrite (or use `acquire_zeroed`).
+template <class T>
+class WorkMatrix {
+ public:
+  Matrix<T>& acquire(index_t rows, index_t cols) {
+    WorkspaceCounters::note_checkout();
+    const index_t need = rows * cols;
+    if (need > highwater_) {
+      WorkspaceCounters::note_alloc(static_cast<std::int64_t>(need - highwater_) *
+                                    static_cast<std::int64_t>(sizeof(T)));
+      highwater_ = need;
+    }
+    m_.reshape(rows, cols);
+    return m_;
+  }
+  Matrix<T>& acquire_zeroed(index_t rows, index_t cols) {
+    Matrix<T>& m = acquire(rows, cols);
+    m.zero();
+    return m;
+  }
+  Matrix<T>& get() { return m_; }
+  const Matrix<T>& get() const { return m_; }
+
+  /// Swap storage with another matrix of the same size (allocation-free
+  /// subspace rotation: gemm into the work buffer, then swap with the target).
+  void swap(Matrix<T>& other) {
+    m_.swap(other);
+    const index_t sz = m_.size();
+    if (sz > highwater_) highwater_ = sz;
+  }
+
+ private:
+  Matrix<T> m_;
+  index_t highwater_ = 0;
+};
+
+/// Arena-style pool of Matrix<T> buffers with RAII checkout/return. Buffers
+/// are recycled by capacity (best fit over the free list), so a steady-state
+/// checkout pattern touches the heap zero times once warmed up.
+template <class T>
+class Workspace {
+  struct Slot {
+    std::unique_ptr<Matrix<T>> m;
+    index_t highwater = 0;
+  };
+
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Workspace* ws, Slot slot) : ws_(ws), slot_(std::move(slot)) {}
+    Lease(Lease&& o) noexcept : ws_(o.ws_), slot_(std::move(o.slot_)) { o.ws_ = nullptr; }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        ws_ = o.ws_;
+        slot_ = std::move(o.slot_);
+        o.ws_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Matrix<T>& operator*() { return *slot_.m; }
+    const Matrix<T>& operator*() const { return *slot_.m; }
+    Matrix<T>* operator->() { return slot_.m.get(); }
+    const Matrix<T>* operator->() const { return slot_.m.get(); }
+
+    /// Swap the leased storage with `other` (same total size); the swapped-in
+    /// buffer is returned to the pool when the lease ends.
+    void swap(Matrix<T>& other) {
+      slot_.m->swap(other);
+      if (slot_.m->size() > slot_.highwater) slot_.highwater = slot_.m->size();
+    }
+
+   private:
+    void release() {
+      if (ws_ != nullptr && slot_.m != nullptr) ws_->release(std::move(slot_));
+      ws_ = nullptr;
+    }
+    Workspace* ws_ = nullptr;
+    Slot slot_;
+  };
+
+  /// Check out a rows x cols buffer. Contents are unspecified unless `zeroed`.
+  Lease checkout(index_t rows, index_t cols, bool zeroed = false) {
+    WorkspaceCounters::note_checkout();
+    const index_t need = rows * cols;
+    Slot slot;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // Best fit: smallest free buffer that already fits; otherwise the
+      // largest free buffer (grown below), so the pool converges instead of
+      // accumulating many undersized buffers.
+      std::size_t best = free_.size(), largest = free_.size();
+      for (std::size_t s = 0; s < free_.size(); ++s) {
+        const index_t hw = free_[s].highwater;
+        if (hw >= need && (best == free_.size() || hw < free_[best].highwater)) best = s;
+        if (largest == free_.size() || hw > free_[largest].highwater) largest = s;
+      }
+      const std::size_t pick = (best != free_.size()) ? best : largest;
+      if (pick != free_.size()) {
+        slot = std::move(free_[pick]);
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    if (slot.m == nullptr) {
+      slot.m = std::make_unique<Matrix<T>>();
+    }
+    if (need > slot.highwater) {
+      WorkspaceCounters::note_alloc(static_cast<std::int64_t>(need - slot.highwater) *
+                                    static_cast<std::int64_t>(sizeof(T)));
+      slot.highwater = need;
+    }
+    slot.m->reshape(rows, cols);
+    if (zeroed) slot.m->zero();
+    return Lease(this, std::move(slot));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return free_.size();
+  }
+
+  /// Drop all pooled buffers (tests / memory pressure).
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.clear();
+  }
+
+  static Workspace& global() {
+    static Workspace ws;
+    return ws;
+  }
+
+ private:
+  friend class Lease;
+  void release(Slot slot) {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(std::move(slot));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot> free_;
+};
+
+/// Grow-only ensure for plain vector scratch (thread-local panels and
+/// demotion buffers); counts fresh growth through WorkspaceCounters.
+template <class V>
+inline void ensure_scratch(V& v, std::size_t n) {
+  if (v.size() < n) {
+    WorkspaceCounters::note_alloc(
+        static_cast<std::int64_t>((n - v.size()) * sizeof(typename V::value_type)));
+    v.resize(n);
+  }
+}
+
+}  // namespace dftfe::la

@@ -1,0 +1,40 @@
+// Baked-in sanitizer runtime defaults (see cmake/Sanitizers.cmake).
+//
+// The sanitizer runtimes consult these weak extern "C" hooks when the
+// corresponding *SAN_OPTIONS environment variable is unset, so `ctest` in a
+// DFTFE_SANITIZE build tree runs with the project's recommended options —
+// fatal-on-report, suppressions from tools/sanitizers/ — without any shell
+// setup. An explicitly exported environment variable still wins, which is
+// how CI tightens or relaxes individual runs.
+//
+// This file compiles to nothing in non-sanitizer builds: the gates below are
+// the compiler's own __SANITIZE_* predefines plus the DFTFE_SAN_* definitions
+// added by cmake/Sanitizers.cmake (UBSan and standalone LSan have no
+// compiler predefine).
+
+#if defined(DFTFE_SAN_ASAN) || defined(__SANITIZE_ADDRESS__)
+extern "C" const char* __asan_default_options() {
+  return "detect_stack_use_after_return=1:strict_string_checks=1:halt_on_error=1"
+         ":suppressions=" DFTFE_SANITIZER_SUPP_DIR "/asan.supp";
+}
+#endif
+
+#if defined(DFTFE_SAN_ASAN) || defined(__SANITIZE_ADDRESS__) || defined(DFTFE_SAN_LSAN)
+extern "C" const char* __lsan_default_options() {
+  return "suppressions=" DFTFE_SANITIZER_SUPP_DIR "/lsan.supp";
+}
+#endif
+
+#if defined(DFTFE_SAN_UBSAN)
+extern "C" const char* __ubsan_default_options() {
+  return "print_stacktrace=1:halt_on_error=1"
+         ":suppressions=" DFTFE_SANITIZER_SUPP_DIR "/ubsan.supp";
+}
+#endif
+
+#if defined(DFTFE_TSAN) || defined(__SANITIZE_THREAD__)
+extern "C" const char* __tsan_default_options() {
+  return "halt_on_error=1:second_deadlock_stack=1"
+         ":suppressions=" DFTFE_SANITIZER_SUPP_DIR "/tsan.supp";
+}
+#endif

@@ -87,8 +87,12 @@ class BoundaryExchange {
     index_t bytes = 0;
     if (wire_ == Wire::fp32) {
       using L = la::low_precision_t<T>;
-      wire32_.resize(count * sizeof(L));
-      L* buf = reinterpret_cast<L*>(wire32_.data());
+      // Typed buffer, not reinterpreted raw bytes: writing L values into
+      // vector<unsigned char> storage never started the lifetime of any L
+      // object (UB the sanitizer tier exists to rule out), and byte storage
+      // carries no alignment guarantee for L beyond the allocator's.
+      wire32_.resize(count);
+      L* buf = wire32_.data();
       for (index_t j = 0; j < B; ++j) la::demote<T>(X.col(j) + lo, buf + j * rows, rows);
       for (index_t j = 0; j < B; ++j) la::promote<T>(buf + j * rows, X.col(j) + lo, rows);
       bytes = count * static_cast<index_t>(sizeof(L));
@@ -112,7 +116,7 @@ class BoundaryExchange {
   Wire wire_;
   CommModel model_;
   CommStats stats_;
-  std::vector<unsigned char> wire32_;
+  std::vector<la::low_precision_t<T>> wire32_;
   std::vector<T> wire64_;
 };
 

@@ -72,7 +72,12 @@ CellStiffness<T>::CellStiffness(const DofHandler& dofh, double coef_lap,
     g.cyy = cyy;
     g.czz = czz;
     g.A.resize(nd, nd);
-    auto idx = [n](int i, int j, int k) { return i + n * (j + n * k); };
+    // Widen before multiplying: i + n*(j + n*k) evaluated in int overflows
+    // once n^3 exceeds INT_MAX, and signed overflow is UB, not wraparound.
+    auto idx = [n](int i, int j, int k) {
+      return static_cast<index_t>(i) +
+             static_cast<index_t>(n) * (static_cast<index_t>(j) + static_cast<index_t>(n) * k);
+    };
     for (int k = 0; k < n; ++k)
       for (int j = 0; j < n; ++j)
         for (int i = 0; i < n; ++i) {
@@ -214,7 +219,10 @@ void CellStiffness<T>::apply_add_sumfac(const la::Matrix<T>& X, la::Matrix<T>& Y
           const T* sz = Sz.col(p);
           for (int kk = 0; kk < n; ++kk)
             for (int jj = 0; jj < n; ++jj) {
-              const index_t off = n * (jj + n * kk);
+              // index_t arithmetic: the int product n * (jj + n * kk) is UB
+              // (signed overflow) for large polynomial orders.
+              const index_t off =
+                  static_cast<index_t>(n) * (jj + static_cast<index_t>(n) * kk);
               const double cx = g.cxx * w[jj] * w[kk];
               const double cy = g.cyy * w[kk];
               const double cz = g.czz * w[jj];
@@ -238,7 +246,10 @@ void CellStiffness<T>::apply_add_sumfac_scalar(const la::Matrix<T>& X, la::Matri
   const index_t nd = dofh_->ndofs_per_cell();
   const index_t B = X.cols();
   const auto& w = dofh_->ref_weights();
-  auto idx = [n](int i, int j, int k) { return i + n * (j + n * k); };
+  auto idx = [n](int i, int j, int k) {
+    return static_cast<index_t>(i) +
+           static_cast<index_t>(n) * (static_cast<index_t>(j) + static_cast<index_t>(n) * k);
+  };
   // Analytic FLOPs: three n^4 contractions + weighting per cell per column.
   FlopCounter::global().add((6.0 * n * nd + 4.0 * nd) *
                             static_cast<double>(dofh_->mesh().ncells_total()) * B *

@@ -190,8 +190,9 @@ Invert1DResult invert_pde_constrained(const Grid1D& grid, const Molecule1D& mol,
       }
       eta *= 0.5;
     }
-    if (it % 50 == 0)
+    if (it % 50 == 0) {
       DFTFE_LOG_AT(obs::level_for(opt.verbose)) << "  [invdft1d] iter " << it << " loss " << loss;
+    }
     if (!improved) break;  // stationary to line-search resolution
   }
   result.loss = loss;

@@ -152,6 +152,7 @@ class ChebyshevFilteredSolver {
       }
       for (index_t j = 0; j < nb; ++j)
         std::copy(Yb->col(j), Yb->col(j) + n, X_.col(j0 + j));
+      // lint: allow(hot-path-alloc): clear() retains capacity, appends stop allocating after the first filter()
       cf_timings_.push_back({block_timer.seconds(), 0.0});
     }
   }
@@ -205,6 +206,7 @@ class ChebyshevFilteredSolver {
       auto S0 = ws.checkout(N, N);
       std::copy(S->data(), S->data() + S->size(), S0->data());
       if (!la::cholesky_lower(*S)) {
+        obs::MetricsRegistry::global().counter_add("chfes.cholesky_retries", 1.0);
         std::copy(S0->data(), S0->data() + S0->size(), S->data());
         for (index_t i = 0; i < N; ++i)
           (*S)(i, i) += T(1e-10 * std::abs((*S0)(i, i)) + 1e-14);

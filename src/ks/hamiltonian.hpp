@@ -115,6 +115,7 @@ class Hamiltonian {
     std::copy(x.begin(), x.begin() + n(), X.data());
     la::Matrix<T>& Y = vec_out_.acquire(n(), 1);
     apply(X, Y);
+    // lint: allow(hot-path-alloc): grow-only output sizing; solver callers reuse persistent vectors
     y.resize(static_cast<std::size_t>(n()));
     std::copy(Y.data(), Y.data() + n(), y.begin());
   }

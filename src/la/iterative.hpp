@@ -210,9 +210,11 @@ double lanczos_upper_bound(const std::function<void(const std::vector<T>&, std::
     if (s > 0) axpy(n, T(-b), vprev.data(), w.data());
     const double a = scalar_traits<T>::real(dotc(n, v.data(), w.data()));
     axpy(n, T(-a), v.data(), w.data());
+    // lint: allow(hot-path-alloc): O(steps~14) tridiagonal entries once per SCF, amortized vs O(n) applies
     alpha.push_back(a);
     b = nrm2(n, w.data());
-    beta.push_back(b);
+    beta.push_back(b);  // lint: allow(hot-path-alloc): same O(steps) bound as alpha
+
     if (b < 1e-12) break;
     vprev = v;
     for (index_t i = 0; i < n; ++i) v[i] = w[i] * T(1.0 / b);

@@ -48,6 +48,19 @@ void promote(const low_precision_t<T>* src, T* dst, index_t n) {
   for (index_t i = 0; i < n; ++i) dst[i] = static_cast<T>(src[i]);
 }
 
+/// Demote a rows x cols panel with leading dimension ld into a compact
+/// (ld = rows) buffer. Touches exactly the referenced entries: demoting the
+/// full ld * cols extent instead would read past the end of the final column
+/// whenever ld > rows (an out-of-bounds read for trailing submatrix panels).
+template <class T>
+void demote_panel(const T* src, index_t ld, index_t rows, index_t cols,
+                  low_precision_t<T>* dst) {
+#pragma omp parallel for if (rows * cols > 8192)
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i)
+      dst[i + j * rows] = static_cast<low_precision_t<T>>(src[i + j * ld]);
+}
+
 /// C = op(A)^ * op(B) evaluated in reduced precision, result promoted back to
 /// T. FLOPs are still counted at the full analytic rate (the paper's FLOP
 /// accounting does not discount FP32 work; the benefit shows up as time).
@@ -55,18 +68,22 @@ template <class T>
 void gemm_low_precision(char transa, char transb, index_t m, index_t n, index_t k,
                         const T* A, index_t lda, const T* B, index_t ldb, T* C, index_t ldc) {
   using L = low_precision_t<T>;
-  // Demote the referenced panels. For simplicity the full stored extents of
-  // op(A)/op(B) panels are converted. Demotion scratch is thread-local and
-  // grow-only (workspace-counted), so steady-state calls are allocation-free.
+  // Demote exactly the referenced op(A)/op(B) panels into compact buffers
+  // (demote_panel never reads the ld-to-rows gap of a strided panel).
+  // Demotion scratch is thread-local and grow-only (workspace-counted), so
+  // steady-state calls are allocation-free.
+  const index_t arows = (transa == 'N') ? m : k;
   const index_t acols = (transa == 'N') ? k : m;
+  const index_t brows = (transb == 'N') ? k : n;
   const index_t bcols = (transb == 'N') ? n : k;
   static thread_local std::vector<L> Af, Bf, Cf;
-  ensure_scratch(Af, static_cast<std::size_t>(lda) * acols);
-  ensure_scratch(Bf, static_cast<std::size_t>(ldb) * bcols);
+  ensure_scratch(Af, static_cast<std::size_t>(arows) * acols);
+  ensure_scratch(Bf, static_cast<std::size_t>(brows) * bcols);
   ensure_scratch(Cf, static_cast<std::size_t>(m) * n);
-  demote(A, Af.data(), lda * acols);
-  demote(B, Bf.data(), ldb * bcols);
-  gemm<L>(transa, transb, m, n, k, L(1), Af.data(), lda, Bf.data(), ldb, L(0), Cf.data(), m);
+  demote_panel(A, lda, arows, acols, Af.data());
+  demote_panel(B, ldb, brows, bcols, Bf.data());
+  gemm<L>(transa, transb, m, n, k, L(1), Af.data(), arows, Bf.data(), brows, L(0), Cf.data(),
+          m);
 #pragma omp parallel for if (n > 4)
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < m; ++i) C[i + j * ldc] = static_cast<T>(Cf[i + j * m]);

@@ -15,6 +15,7 @@
 // verbose messages log at `info` (visible under the default level), quiet
 // ones at `trace` (visible only when explicitly requested).
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -36,9 +37,11 @@ inline LogLevel level_for(bool verbose) {
 
 class Logger {
  public:
-  bool enabled(LogLevel level) const { return level <= level_; }
-  LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  bool enabled(LogLevel level) const {
+    return level <= level_.load(std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
 
   /// Redirect output (tests, trace files). Pass nullptr to restore std::cout.
   void set_sink(std::ostream* sink);
@@ -52,7 +55,9 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::info;
+  // Atomic: every DFTFE_LOG expansion calls enabled() without taking mu_, so
+  // a plain enum field would race concurrent set_level() calls.
+  std::atomic<LogLevel> level_{LogLevel::info};
   std::ostream* sink_ = nullptr;  // nullptr -> std::cout
   std::mutex mu_;
 };

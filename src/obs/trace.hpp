@@ -23,6 +23,7 @@
 #define DFTFE_ENABLE_TRACING 1
 #endif
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -55,8 +56,8 @@ class TraceRecorder {
   std::size_t dropped() const;
   void clear();
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   /// Cap on retained events (default 1M) so long runs stay bounded.
   void set_capacity(std::size_t cap);
 
@@ -74,7 +75,9 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   std::size_t capacity_ = 1u << 20;
   std::size_t dropped_ = 0;
-  bool enabled_ = true;
+  // Atomic rather than mutex-guarded: record() reads the flag before taking
+  // the lock, so a plain bool would race a concurrent set_enabled().
+  std::atomic<bool> enabled_{true};
 };
 
 /// RAII span. Cheap enough for per-SCF-step granularity; not meant for

@@ -155,10 +155,11 @@ MlxcTrainReport train_mlxc(ml::Mlp& net, const std::vector<MlxcSystem>& systems,
     report.loss_exc = loss_exc;
     report.loss_vxc = loss_vxc;
     report.epochs = epoch + 1;
-    if (epoch % 200 == 0)
+    if (epoch % 200 == 0) {
       DFTFE_LOG_AT(obs::level_for(verbose)) << "  [mlxc-train] epoch " << epoch
                                             << "  mse(Exc)=" << loss_exc
                                             << "  mse(rho vxc)=" << loss_vxc;
+    }
   }
   return report;
 }

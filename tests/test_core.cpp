@@ -128,7 +128,9 @@ TEST(Relax, DimerRelaxationReducesForces) {
   // Energy must not increase overall and the force must shrink to threshold
   // (or at least improve markedly if the step budget ran out).
   EXPECT_LE(res.energy, res.energy_history.front() + 1e-8);
-  if (!res.converged) EXPECT_LT(res.max_force, 0.1);
+  if (!res.converged) {
+    EXPECT_LT(res.max_force, 0.1);
+  }
   // Relaxed bond length stays physical.
   const double d = std::abs(res.structure.atoms[0].pos[0] - res.structure.atoms[1].pos[0]);
   EXPECT_GT(d, 2.0);

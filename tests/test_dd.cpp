@@ -27,7 +27,9 @@ TEST(SlabPartition, CoversAllPlanesWithoutOverlap) {
       const Slab& s = part.slab(r);
       EXPECT_LE(s.z_begin, s.z_end);
       covered += s.z_end - s.z_begin;
-      if (r > 0) EXPECT_EQ(part.slab(r - 1).z_end, s.z_begin);
+      if (r > 0) {
+        EXPECT_EQ(part.slab(r - 1).z_end, s.z_begin);
+      }
     }
     EXPECT_EQ(covered, part.nplanes());
   }
@@ -102,6 +104,27 @@ TEST(BoundaryExchange, Fp32WireRoundsOnlyInterfacePlanes) {
   // ...and everything outside interface planes is untouched.
   for (index_t j = 0; j < 3; ++j)
     for (index_t i = 0; i < lo; ++i) EXPECT_EQ(X(i, j), X0(i, j));
+}
+
+TEST(BoundaryExchange, Fp32WireEntriesAreExactFloatRoundTrips) {
+  // The FP32 wire stages data in a typed float buffer (regression: it used
+  // to reinterpret a raw byte buffer's storage as floats, which is
+  // object-lifetime UB), so every retransmitted interface entry must equal
+  // exactly one double -> float -> double conversion of the original value.
+  const auto mesh = test_mesh(false);
+  fe::DofHandler dofh(mesh, 3);
+  SlabPartition part(dofh, 3);
+  BoundaryExchange<double> ex(part, Wire::fp32);
+  la::Matrix<double> X(dofh.ndofs(), 2);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::cos(0.61 * i) * 3.7e2;
+  la::Matrix<double> X0 = X;
+  ex.exchange(X);
+  for (index_t z : part.interface_planes()) {
+    const auto [lo, hi] = part.plane_range(z);
+    for (index_t j = 0; j < X.cols(); ++j)
+      for (index_t i = lo; i < hi; ++i)
+        EXPECT_EQ(X(i, j), static_cast<double>(static_cast<float>(X0(i, j)))) << i << "," << j;
+  }
 }
 
 TEST(BoundaryExchange, Fp32HalvesWireBytes) {

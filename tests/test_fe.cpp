@@ -369,6 +369,25 @@ TEST(CellStiffness, SumFactorizationMatchesDenseApply) {
   }
 }
 
+TEST(CellStiffness, SumFactorizationMatchesDenseAtHighOrder) {
+  // p = 7 and 8 give 8^3 = 512 and 9^3 = 729 dofs per cell: large enough to
+  // exercise the linearized i + n*(j + n*k) gather/scatter arithmetic well
+  // past the low-order cases above (regression for the index_t widening of
+  // the previously int-typed index lambdas in fe/cell_ops.cpp).
+  const Mesh m = make_uniform_mesh(2.0, 2, true);
+  for (int p : {7, 8}) {
+    DofHandler dofh(m, p);
+    CellStiffness<double> K(dofh, 0.5);
+    ASSERT_TRUE(K.supports_sumfac());
+    const index_t n = dofh.ndofs(), B = 3;
+    la::Matrix<double> X(n, B), Y1(n, B), Y2(n, B);
+    for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::cos(0.03 * i) - 0.1;
+    K.apply_add(X, Y1);
+    K.apply_add_sumfac(X, Y2);
+    EXPECT_LT(la::max_abs_diff(Y1, Y2), 1e-10) << "p=" << p;
+  }
+}
+
 TEST(CellStiffness, SumFactorizationComplexGammaMatchesDense) {
   const Mesh m = make_uniform_mesh(3.0, 2, true);
   DofHandler dofh(m, 3);

@@ -209,6 +209,28 @@ TEST(Chfes, RecordsStepTimingsAndFlops) {
   FlopCounter::global().clear();
 }
 
+TEST(Chfes, CholeskyBreakdownRegularizationRetry) {
+  // A deliberately rank-deficient subspace (all columns identical) makes the
+  // CholGS overlap exactly singular: the plain Cholesky must fail on an
+  // exactly-zero pivot, the diagonally-regularized retry must succeed, and
+  // the cycle must still produce finite Ritz values.
+  const fe::Mesh m = fe::make_uniform_mesh(3.0, 2, true);
+  fe::DofHandler dofh(m, 3);
+  Hamiltonian<double> H(dofh);
+  H.set_potential(std::vector<double>(dofh.ndofs(), 0.0));
+  ChebyshevFilteredSolver<double> solver(H, 6);
+  solver.initialize_random(11);
+  la::Matrix<double>& X = solver.subspace();
+  for (index_t j = 1; j < X.cols(); ++j)
+    std::copy(X.col(0), X.col(0) + X.rows(), X.col(j));
+  const double retries_before =
+      obs::MetricsRegistry::global().counter("chfes.cholesky_retries");
+  ASSERT_NO_THROW(solver.cycle());
+  EXPECT_GT(obs::MetricsRegistry::global().counter("chfes.cholesky_retries"), retries_before);
+  ASSERT_EQ(solver.eigenvalues().size(), 6u);
+  for (double ev : solver.eigenvalues()) EXPECT_TRUE(std::isfinite(ev)) << ev;
+}
+
 // ---------- SCF on exactly solvable systems ----------
 
 TEST(Scf, NonInteractingHarmonicTrapTotalEnergy) {

@@ -306,7 +306,9 @@ void check_eig_residual(const Matrix<T>& A, const std::vector<double>& ev,
     for (index_t i = 0; i < n; ++i)
       res += scalar_traits<T>::abs2(AV(i, j) - T(ev[j]) * V(i, j));
     EXPECT_LT(std::sqrt(res), tol) << "column " << j;
-    if (j > 0) EXPECT_LE(ev[j - 1], ev[j] + 1e-12);
+    if (j > 0) {
+      EXPECT_LE(ev[j - 1], ev[j] + 1e-12);
+    }
   }
   Matrix<T> G(n, n);
   gemm('C', 'N', T(1), V, V, T(0), G);
@@ -561,6 +563,56 @@ TEST(Mixed, ComplexLowPrecisionGemm) {
   gemm('C', 'N', complex_t(1), A, B, complex_t(0), C64);
   gemm_low_precision<complex_t>('C', 'N', m, n, k, A.data(), A.ld(), B.data(), B.ld(),
                                 C32.data(), C32.ld());
+  EXPECT_LT(max_abs_diff(C64, C32), 1e-4 * k);
+}
+
+TEST(Mixed, DemotePanelCompactsStridedColumns) {
+  // demote_panel reads exactly `rows` entries per column of a strided
+  // (ld > rows) source and writes a compact rows x cols destination.
+  // Regression: the demotion used to convert the full ld*cols extent, which
+  // overruns the final column of a trailing submatrix panel.
+  Rng rng(98);
+  const index_t ld = 11, rows = 6, cols = 4;
+  std::vector<double> src(static_cast<std::size_t>(ld * cols));
+  for (auto& v : src) v = rng.uniform(-5, 5);
+  std::vector<float> dst(static_cast<std::size_t>(rows * cols), -1.0f);
+  demote_panel<double>(src.data(), ld, rows, cols, dst.data());
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i)
+      EXPECT_EQ(dst[i + j * rows], static_cast<float>(src[i + j * ld]));
+}
+
+TEST(Mixed, LowPrecisionGemmOnTrailingSubmatrixPanels) {
+  // Operands are bottom-right panels of a larger parent matrix, so the
+  // leading dimension exceeds the panel row count and the last panel column
+  // ends exactly at the parent's final element. Reading lda*cols entries
+  // from the panel pointer (the pre-fix behavior) runs past the parent's
+  // heap block — this is the ASan regression case for the demotion overread.
+  Rng rng(99);
+  const index_t M = 20, N = 15;
+  Matrix<double> P = random_matrix<double>(M, N, rng);
+  const index_t m = 7, n = 5, k = 6;
+  const double* A = P.data() + (M - m) + (N - k) * M;  // m x k, lda = M
+  const double* B = P.data() + (M - k) + (N - n) * M;  // k x n, ldb = M
+  Matrix<double> C64(m, n), C32(m, n);
+  gemm<double>('N', 'N', m, n, k, 1.0, A, M, B, M, 0.0, C64.data(), C64.ld());
+  gemm_low_precision<double>('N', 'N', m, n, k, A, M, B, M, C32.data(), C32.ld());
+  EXPECT_LT(max_abs_diff(C64, C32), 1e-4 * k);
+}
+
+TEST(Mixed, ComplexLowPrecisionGemmOnStridedPanels) {
+  // Same overread regression for the 'C' path, where the stored operand is
+  // k x m and the compacted demotion target differs from the op() shape.
+  Rng rng(100);
+  const index_t M = 18, N = 14;
+  Matrix<complex_t> P = random_matrix<complex_t>(M, N, rng);
+  const index_t m = 5, n = 4, k = 6;
+  const complex_t* A = P.data() + (M - k) + (N - m) * M;  // k x m stored, op 'C'
+  const complex_t* B = P.data() + (M - k) + (N - n) * M;  // k x n stored
+  Matrix<complex_t> C64(m, n), C32(m, n);
+  gemm<complex_t>('C', 'N', m, n, k, complex_t(1), A, M, B, M, complex_t(0), C64.data(),
+                  C64.ld());
+  gemm_low_precision<complex_t>('C', 'N', m, n, k, A, M, B, M, C32.data(), C32.ld());
   EXPECT_LT(max_abs_diff(C64, C32), 1e-4 * k);
 }
 

@@ -215,8 +215,9 @@ TEST(Invdft1D, AnalyticInversionReproducesKsPotential) {
     }
   shift /= wsum;
   for (index_t i = 0; i < g.n; ++i)
-    if (ks.density[i] > 5e-2)
+    if (ks.density[i] > 5e-2) {
       EXPECT_NEAR(vxc_rec[i] - shift, ks.v_xc[i], 2e-2) << "x = " << g.x(i);
+    }
 }
 
 TEST(Invdft1D, PdeConstrainedInversionMatchesFciDensity) {
@@ -271,8 +272,9 @@ TEST(Invdft1D, IterativeAgreesWithAnalyticInversion) {
     }
   shift /= wsum;
   for (index_t i = 0; i < g.n; ++i)
-    if (fci.density[i] > 0.1)
+    if (fci.density[i] > 0.1) {
       EXPECT_NEAR(inv.v_xc[i] - shift, vxc_a[i], 5e-2) << "x = " << g.x(i);
+    }
 }
 
 // ---------- end-to-end: FCI -> invDFT -> MLXC -> KS ----------

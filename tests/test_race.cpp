@@ -1,0 +1,354 @@
+// Concurrency stress suite for the shared mutable state of the SCF hot path:
+// the trace/metrics/profile registries, the Workspace<T> buffer pool, the
+// mixed-precision overlap kernel, block Hamiltonian applies on per-thread
+// instances, and the emulated halo exchange.
+//
+// Every test here is written with std::thread (not OpenMP) for the
+// cross-thread interleavings, so the synchronization under test is fully
+// visible to ThreadSanitizer even with an uninstrumented libgomp. The suite
+// is meant to run in three build modes:
+//   * plain builds: functional invariants (sums, pool integrity, determinism
+//     across threads) still assert real behavior;
+//   * DFTFE_SANITIZE=thread: the primary race-detection gate;
+//   * DFTFE_SANITIZE=address;undefined: shakes out lifetime bugs in the
+//     lease/return and swap paths under contention.
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/flops.hpp"
+#include "base/timer.hpp"
+#include "dd/exchange.hpp"
+#include "dd/partition.hpp"
+#include "fe/dofs.hpp"
+#include "fe/mesh.hpp"
+#include "ks/hamiltonian.hpp"
+#include "la/matrix.hpp"
+#include "la/mixed.hpp"
+#include "la/workspace.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dftfe {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(DFTFE_TSAN)
+// GCC's libgomp is not TSan-instrumented: TSan cannot see the happens-before
+// edges of OpenMP barriers and would report false races between correctly
+// synchronized worker iterations inside the kernels the threads below call.
+// Pinning OpenMP teams to one thread keeps this suite's std::thread
+// interleavings — the synchronization actually under test — noise-free.
+// See cmake/Sanitizers.cmake ("OpenMP-aware TSan handling").
+struct PinOpenmpForTsan {
+  PinOpenmpForTsan() { omp_set_num_threads(1); }
+} pin_openmp_for_tsan;
+#endif
+
+constexpr int kThreads = 4;
+
+/// Launch `nthreads` copies of `fn(thread_index)` and join them all.
+template <class Fn>
+void run_threads(int nthreads, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) threads.emplace_back(fn, t);
+  for (auto& th : threads) th.join();
+}
+
+TEST(RaceRegistry, ProfileRegistryConcurrentAddAndRead) {
+  ProfileRegistry reg;
+  constexpr int kIters = 2000;
+  run_threads(kThreads, [&](int t) {
+    const std::string mine = "race.thread" + std::to_string(t);
+    for (int i = 0; i < kIters; ++i) {
+      reg.add("race.shared", 1.0);
+      reg.add(mine, 1.0);
+      if (i % 64 == 0) {
+        (void)reg.seconds("race.shared");
+        (void)reg.find(mine);
+        (void)reg.entries();
+      }
+    }
+  });
+  const auto entries = reg.entries();
+  EXPECT_EQ(entries.at("race.shared").count, kThreads * kIters);
+  EXPECT_DOUBLE_EQ(entries.at("race.shared").seconds, kThreads * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(entries.at("race.thread" + std::to_string(t)).count, kIters);
+}
+
+TEST(RaceRegistry, MetricsRegistryConcurrentCountersGaugesSeries) {
+  obs::MetricsRegistry reg;
+  constexpr int kIters = 2000;
+  run_threads(kThreads, [&](int t) {
+    const std::string series = "race.series" + std::to_string(t);
+    for (int i = 0; i < kIters; ++i) {
+      reg.counter_add("race.counter", 1.0);
+      reg.gauge_set("race.gauge", static_cast<double>(t));
+      reg.series_append(series, static_cast<double>(i));
+      if (i % 128 == 0) (void)reg.snapshot();
+    }
+  });
+  EXPECT_DOUBLE_EQ(reg.counter("race.counter"), kThreads * kIters);
+  const double g = reg.gauge("race.gauge");
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    const auto s = reg.series("race.series" + std::to_string(t));
+    ASSERT_EQ(s.size(), static_cast<std::size_t>(kIters));
+    EXPECT_DOUBLE_EQ(s.back(), kIters - 1.0);
+  }
+}
+
+TEST(RaceTrace, ConcurrentNestedSpanEmission) {
+  obs::TraceRecorder rec;
+  ProfileRegistry reg;
+  constexpr int kIters = 400;
+  run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kIters; ++i) {
+      obs::TraceSpan outer("CF", "race", rec, reg);
+      {
+        obs::TraceSpan inner("RR-P", "race", rec, reg);
+      }
+      if (i % 64 == 0) {
+        (void)rec.size();
+        (void)rec.events();
+      }
+    }
+  });
+#if DFTFE_ENABLE_TRACING
+  EXPECT_EQ(rec.size() + rec.dropped(),
+            static_cast<std::size_t>(2 * kThreads * kIters));
+  // Parenting is per-thread call nesting: every recorded inner span's parent
+  // id must differ from 0 and from its own id.
+  for (const auto& ev : rec.events())
+    if (ev.name == "RR-P") {
+      EXPECT_NE(ev.parent, 0u);
+      EXPECT_NE(ev.parent, ev.id);
+      EXPECT_EQ(ev.depth, 1);
+    }
+#endif
+  const auto entries = reg.entries();
+  EXPECT_EQ(entries.at("CF").count, kThreads * kIters);
+  EXPECT_EQ(entries.at("RR-P").count, kThreads * kIters);
+}
+
+TEST(RaceTrace, EnableToggleAndClearWhileRecording) {
+  obs::TraceRecorder rec;
+  ProfileRegistry reg;
+  std::atomic<bool> done{false};
+  // Toggler/cleaner thread races the recorder state against span emission;
+  // correctness claim is absence of data races plus bounded storage, not a
+  // particular event count (toggling drops an unknowable number of spans).
+  std::thread toggler([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      rec.set_enabled(false);
+      rec.set_enabled(true);
+      rec.clear();
+    }
+  });
+  run_threads(kThreads, [&](int) {
+    for (int i = 0; i < 1000; ++i) {
+      obs::TraceSpan span("DC", "race", rec, reg);
+    }
+  });
+  done.store(true, std::memory_order_relaxed);
+  toggler.join();
+  rec.set_capacity(4);
+  rec.clear();
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceSpan span("DH", "race", rec, reg);
+  }
+  EXPECT_LE(rec.size(), 4u);
+#if DFTFE_ENABLE_TRACING
+  EXPECT_EQ(rec.size() + rec.dropped(), 10u);
+#endif
+}
+
+TEST(RaceLog, ConcurrentWritesAndLevelChanges) {
+  auto& logger = obs::Logger::global();
+  const obs::LogLevel level0 = logger.level();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < 500; ++i) {
+      if (t == 0 && i % 16 == 0) {
+        logger.set_level(obs::LogLevel::trace);
+        logger.set_level(obs::LogLevel::info);
+      }
+      DFTFE_LOG(info) << "[race] thread " << t << " message " << i;
+      DFTFE_LOG(trace) << "[race] usually filtered " << i;
+    }
+  });
+  logger.set_sink(nullptr);
+  logger.set_level(level0);
+  // Whole lines only: the per-message mutex must keep interleaved threads
+  // from shredding each other's output.
+  std::istringstream lines(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[race]", 0), 0u) << "shredded log line: " << line;
+    ++count;
+  }
+  EXPECT_GE(count, kThreads * 500);
+}
+
+TEST(RaceWorkspace, PoolLeaseReturnIntegrityUnderContention) {
+  la::Workspace<double> pool;
+  constexpr int kIters = 300;
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < kIters; ++i) {
+      const index_t rows = 8 + (i + t) % 16;
+      const index_t cols = 1 + i % 7;
+      auto lease = pool.checkout(rows, cols);
+      // A leased buffer is exclusively owned until release: fill with a
+      // thread-unique pattern and verify nothing else scribbled on it.
+      const double tag = t * 1000.0 + i;
+      for (index_t e = 0; e < lease->size(); ++e) lease->data()[e] = tag + e;
+      auto inner = pool.checkout(4, 4, /*zeroed=*/true);
+      for (index_t e = 0; e < inner->size(); ++e) EXPECT_EQ(inner->data()[e], 0.0);
+      for (index_t e = 0; e < lease->size(); ++e)
+        ASSERT_EQ(lease->data()[e], tag + e) << "pool handed one buffer to two leases";
+    }
+  });
+  // Steady state: every buffer is back on the free list and the pool has
+  // converged to at most two slots per thread (outer + inner lease).
+  EXPECT_LE(pool.pooled(), static_cast<std::size_t>(2 * kThreads));
+  EXPECT_GE(pool.pooled(), 1u);
+}
+
+TEST(RaceWorkspace, LeaseSwapRotationUnderContention) {
+  la::Workspace<double> pool;
+  run_threads(kThreads, [&](int t) {
+    la::Matrix<double> mine(32, 4);
+    for (index_t e = 0; e < mine.size(); ++e) mine.data()[e] = t;
+    for (int i = 0; i < 200; ++i) {
+      auto lease = pool.checkout(32, 4);
+      for (index_t e = 0; e < lease->size(); ++e) lease->data()[e] = t + 0.5;
+      lease.swap(mine);  // rotated-in storage must carry the new values
+      for (index_t e = 0; e < mine.size(); ++e) ASSERT_EQ(mine.data()[e], t + 0.5);
+      for (index_t e = 0; e < mine.size(); ++e) mine.data()[e] = t;
+    }
+  });
+}
+
+TEST(RaceWorkspace, CountersStayConsistentAcrossThreads) {
+  la::WorkspaceCounters::reset();
+  la::Workspace<double> pool;
+  run_threads(kThreads, [&](int) {
+    for (int i = 0; i < 200; ++i) {
+      auto lease = pool.checkout(16, 16);
+    }
+  });
+  EXPECT_EQ(la::WorkspaceCounters::checkouts(), kThreads * 200);
+  // Growth events are bounded by the number of distinct slots ever created;
+  // with one size the pool cannot allocate more than one buffer per thread.
+  EXPECT_LE(la::WorkspaceCounters::allocations(), kThreads);
+  la::WorkspaceCounters::reset();
+}
+
+TEST(RaceKernels, ConcurrentMixedOverlapMatchesSerialReference) {
+  const index_t n = 96, N = 24;
+  la::Matrix<double> A(n, N);
+  for (index_t i = 0; i < A.size(); ++i) A.data()[i] = std::sin(0.13 * i);
+  la::Matrix<double> Sref;
+  la::overlap_hermitian_mixed(A, A, Sref, 8, true);
+  std::vector<double> worst(kThreads, 0.0);
+  run_threads(kThreads, [&](int t) {
+    la::Matrix<double> S;
+    for (int i = 0; i < 20; ++i) {
+      la::overlap_hermitian_mixed(A, A, S, 8, true);
+      worst[t] = std::max(worst[t], la::max_abs_diff(S, Sref));
+    }
+  });
+  // The FP32 off-diagonal blocks are deterministic: every thread must get
+  // bitwise the same overlap as the serial reference.
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(worst[t], 0.0);
+}
+
+TEST(RaceKernels, PerThreadHamiltonianAppliesAgree) {
+  const fe::Mesh mesh = fe::make_uniform_mesh(3.0, 2, true);
+  const fe::DofHandler dofh(mesh, 3);
+  std::vector<double> v(dofh.ndofs());
+  for (index_t i = 0; i < dofh.ndofs(); ++i) v[i] = 0.1 * std::cos(0.2 * i);
+
+  const index_t B = 6;
+  la::Matrix<double> X(dofh.ndofs(), B);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.05 * i);
+
+  ks::Hamiltonian<double> href(dofh);
+  href.set_potential(v);
+  la::Matrix<double> Yref;
+  href.apply_fused(X, Yref, 0.3, 1.7, nullptr, 0.0);
+
+  // One Hamiltonian per thread (the documented concurrency contract: block
+  // applies reuse per-instance scratch), all reading the shared immutable
+  // DofHandler and input block.
+  run_threads(kThreads, [&](int) {
+    ks::Hamiltonian<double> h(dofh);
+    h.set_potential(v);
+    la::Matrix<double> Y;
+    for (int i = 0; i < 10; ++i) {
+      h.apply_fused(X, Y, 0.3, 1.7, nullptr, 0.0);
+      ASSERT_EQ(la::max_abs_diff(Y, Yref), 0.0);
+    }
+  });
+}
+
+TEST(RaceKernels, ConcurrentHaloExchangesAreIndependent) {
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 3, false);
+  const fe::DofHandler dofh(mesh, 3);
+  const dd::SlabPartition part(dofh, 3);
+
+  la::Matrix<double> X0(dofh.ndofs(), 4);
+  for (index_t i = 0; i < X0.size(); ++i) X0.data()[i] = std::sin(0.37 * i) * 1e3;
+  dd::BoundaryExchange<double> exref(part, dd::Wire::fp32);
+  la::Matrix<double> Xref = X0;
+  exref.exchange(Xref);
+
+  run_threads(kThreads, [&](int) {
+    // Exchange objects hold per-instance wire buffers and stats, so each
+    // thread owns one; the partition is shared immutable geometry.
+    dd::BoundaryExchange<double> ex(part, dd::Wire::fp32);
+    for (int i = 0; i < 50; ++i) {
+      la::Matrix<double> X = X0;
+      ex.exchange(X);
+      ASSERT_EQ(la::max_abs_diff(X, Xref), 0.0);
+    }
+    EXPECT_EQ(ex.stats().bytes, 50 * exref.stats().bytes);
+    EXPECT_EQ(ex.stats().messages, 50 * exref.stats().messages);
+  });
+}
+
+TEST(RaceFlops, ConcurrentAttributedAccumulation) {
+  auto& fc = FlopCounter::global();
+  fc.clear();
+  constexpr int kIters = 1000;
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < kIters; ++i) {
+      if (t == 0) {
+        // One thread races step attribution on/off against the others' adds;
+        // attribution is global, so per-step totals are only a lower bound,
+        // but the grand total must stay exact.
+        ScopedFlopStep step("EP");
+        fc.add(2.0);
+      } else {
+        fc.add(2.0);
+      }
+    }
+  });
+  EXPECT_DOUBLE_EQ(fc.total(), 2.0 * kThreads * kIters);
+  EXPECT_LE(fc.step("EP"), fc.total());
+  fc.clear();
+}
+
+}  // namespace
+}  // namespace dftfe

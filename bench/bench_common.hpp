@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "base/flops.hpp"
 #include "base/table.hpp"
@@ -81,7 +82,16 @@ inline std::string pct_of_peak(double gflops) {
 /// + per-step FLOPs) as a machine-readable bench artifact, so every bench
 /// run's numbers are trackable across commits. Call before clearing the
 /// global registries.
+///
+/// Every artifact carries the host's calibrated GEMM peak and thread count
+/// as `machine.*` gauges: tools/check_bench_regression.py uses the peak to
+/// normalize wall times when the committed baseline was recorded on a
+/// different machine than the CI runner comparing against it.
 inline void write_bench_artifact(const std::string& path) {
+  auto& m = obs::MetricsRegistry::global();
+  m.gauge_set("machine.peak_gflops", calibrated_peak_gflops());
+  m.gauge_set("machine.hw_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
   if (obs::write_metrics_snapshot(path))
     std::printf("bench artifact: %s\n", path.c_str());
   else

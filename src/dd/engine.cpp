@@ -1,0 +1,366 @@
+// Cold control plane of the threaded rank engine: lane construction (slab
+// sub-meshes, segment operators, field slices, mailbox wiring), the job
+// broadcast protocol, failure cascade/reset, and stats collection. The hot
+// per-step data plane lives inline in engine.hpp so the invariant linter's
+// no-allocation rule covers exactly the code that runs per recurrence step.
+
+#include "dd/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace dftfe::dd {
+
+template <class T>
+SlabEngine<T>::SlabEngine(const fe::DofHandler& dofh, EngineOptions opt)
+    : dofh_(&dofh),
+      opt_(opt),
+      part_(SlabPartition::cell_aligned(dofh, std::max(1, opt.nlanes))) {
+  plane_size_ = part_.plane_size();
+  build_lanes();
+  start_lanes();
+}
+
+template <class T>
+SlabEngine<T>::~SlabEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = Job{};
+    job_.kind = JobKind::stop;
+    ++job_seq_;
+  }
+  cv_job_.notify_all();
+  for (auto& ln : lanes_)
+    if (ln->th.joinable()) ln->th.join();
+}
+
+template <class T>
+void SlabEngine<T>::build_lanes() {
+  const fe::Mesh& mesh = dofh_->mesh();
+  const bool zper = mesh.axis(2).periodic;
+  const int R = part_.nranks();
+  const int deg = dofh_->degree();
+  const index_t nplanes = part_.nplanes();
+
+  // One channel pair per interface: up[i] carries the lower lane's top-plane
+  // partial to the upper lane, dn[i] the reverse. A periodic z axis adds the
+  // wrap interface (with R == 1 both endpoints are lane 0: a self-exchange,
+  // matching the single-rank periodic reference).
+  struct Iface {
+    int lo, hi;
+  };
+  std::vector<Iface> ifaces;
+  for (int r = 1; r < R; ++r) ifaces.push_back({r - 1, r});
+  if (zper) ifaces.push_back({R - 1, 0});
+  channels_.resize(2 * ifaces.size());
+  for (auto& ch : channels_) ch = std::make_unique<HaloChannel<T>>();
+  auto up = [&](std::size_t i) { return channels_[2 * i].get(); };
+  auto dn = [&](std::size_t i) { return channels_[2 * i + 1].get(); };
+
+  const auto& mass = dofh_->mass();
+  const auto& bmask = dofh_->boundary_mask();
+
+  lanes_.resize(R);
+  for (int r = 0; r < R; ++r) {
+    lanes_[r] = std::make_unique<Lane>();
+    Lane& ln = *lanes_[r];
+    const Slab& sl = part_.slab(r);
+    const index_t nc = sl.c_end - sl.c_begin;
+    ln.lower.active = (r > 0) || zper;
+    ln.upper.active = (r < R - 1) || zper;
+    ln.nplanes_loc = nc * deg + 1;
+    ln.nloc = ln.nplanes_loc * plane_size_;
+    ln.own_plane_end = ln.nplanes_loc - (ln.upper.active ? 1 : 0);
+
+    // Local plane -> global plane; only the wrap lane's top ghost plane maps
+    // non-contiguously (to global plane 0).
+    ln.gplane.resize(ln.nplanes_loc);
+    for (index_t lp = 0; lp < ln.nplanes_loc; ++lp) {
+      index_t gp = sl.z_begin + lp;
+      if (zper && gp >= nplanes) gp -= nplanes;
+      ln.gplane[lp] = gp;
+    }
+
+    // Slices of the *global* nodal fields. The slab-local DofHandler's own
+    // mass/boundary data would be wrong on interface planes (it sees only
+    // one side's cells and fabricates a Dirichlet face there).
+    ln.ims.resize(ln.nloc);
+    ln.bmask.resize(ln.nloc);
+    ln.veff.assign(ln.nloc, 0.0);
+    for (index_t lp = 0; lp < ln.nplanes_loc; ++lp)
+      for (index_t i = 0; i < plane_size_; ++i) {
+        const index_t g = ln.gplane[lp] * plane_size_ + i;
+        ln.ims[lp * plane_size_ + i] = 1.0 / std::sqrt(mass[g]);
+        ln.bmask[lp * plane_size_ + i] = bmask[g];
+      }
+
+    // Segment the slab's cell layers: one boundary layer per active
+    // interface (computed first so halo partials post early), interior bulk
+    // in between. A single-layer slab collapses to one boundary segment.
+    struct SegRange {
+      index_t s0, s1;
+      bool boundary;
+    };
+    std::vector<SegRange> ranges;
+    const bool lb = ln.lower.active, ub = ln.upper.active;
+    if (nc == 1) {
+      ranges.push_back({0, 1, lb || ub});
+    } else {
+      if (lb) ranges.push_back({0, 1, true});
+      if (ub) ranges.push_back({nc - 1, nc, true});
+      const index_t i0 = lb ? 1 : 0, i1 = nc - (ub ? 1 : 0);
+      if (i0 < i1) ranges.push_back({i0, i1, false});
+    }
+    ln.segments.resize(ranges.size());
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      Segment& sg = ln.segments[s];
+      sg.boundary = ranges[s].boundary;
+      sg.mesh = std::make_unique<fe::Mesh>(
+          fe::make_slab_mesh(mesh, sl.c_begin + ranges[s].s0, sl.c_begin + ranges[s].s1));
+      sg.dofh = std::make_unique<fe::DofHandler>(*sg.mesh, deg);
+      sg.op = std::make_unique<fe::CellStiffness<T>>(*sg.dofh, opt_.coef_lap, opt_.kpoint);
+      sg.row0 = ranges[s].s0 * deg * plane_size_;
+      sg.nrows = sg.dofh->ndofs();
+      if (sg.nrows != ((ranges[s].s1 - ranges[s].s0) * deg + 1) * plane_size_)
+        throw std::logic_error("SlabEngine: segment dof layout mismatch");
+    }
+
+    // Mailbox wiring (see the Iface comment for channel orientation).
+    if (ln.upper.active) {
+      const std::size_t i = (r < R - 1) ? static_cast<std::size_t>(r) : ifaces.size() - 1;
+      ln.upper.send = up(i);
+      ln.upper.recv = dn(i);
+    }
+    if (ln.lower.active) {
+      const std::size_t i = (r > 0) ? static_cast<std::size_t>(r - 1) : ifaces.size() - 1;
+      ln.lower.send = dn(i);
+      ln.lower.recv = up(i);
+    }
+  }
+}
+
+template <class T>
+void SlabEngine<T>::start_lanes() {
+  for (int r = 0; r < static_cast<int>(lanes_.size()); ++r)
+    lanes_[r]->th = std::thread([this, r] { lane_main(r); });
+}
+
+template <class T>
+void SlabEngine<T>::lane_main(int r) {
+#ifdef _OPENMP
+  // The cell kernels' inner `omp parallel for` must not spawn a team per
+  // lane: lane-level concurrency replaces OpenMP scaling inside the engine.
+  // num_threads is a per-thread ICV, so this pins only this lane.
+  omp_set_num_threads(1);
+#endif
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_job_.wait(lk, [&] { return job_seq_ != seen; });
+      seen = job_seq_;
+      job = job_;
+    }
+    if (job.kind == JobKind::stop) return;
+    try {
+      run_job(r, job);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // Poison this lane's mailboxes so neighbors blocked on us unblock and
+      // fail too — the failure cascades lane-to-lane instead of deadlocking,
+      // and every lane still checks in below.
+      close_lane_channels(*lanes_[r]);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_count_ == static_cast<int>(lanes_.size())) cv_done_.notify_all();
+    }
+  }
+}
+
+template <class T>
+void SlabEngine<T>::close_lane_channels(Lane& ln) {
+  if (ln.lower.active) {
+    ln.lower.send->close();
+    ln.lower.recv->close();
+  }
+  if (ln.upper.active) {
+    ln.upper.send->close();
+    ln.upper.recv->close();
+  }
+}
+
+template <class T>
+void SlabEngine<T>::run_job(int r, const Job& job) {
+  Lane& ln = *lanes_[r];
+  if (job.fault_lane == r)
+    throw std::runtime_error("dd::SlabEngine: injected lane fault");
+  switch (job.kind) {
+    case JobKind::apply: {
+      obs::TraceSpan span("Engine-apply", "dd");
+      const index_t B = job.X->cols();
+      la::Matrix<T>& Xl = ln.xb.acquire(ln.nloc, B);
+      gather_block(ln, *job.X, 0, B, Xl);
+      la::Matrix<T>& Yl = ln.yb.acquire(ln.nloc, B);
+      lane_fused_step(ln, Xl, Yl, nullptr, 0.0, 1.0, 0.0, job.mode, 0);
+      scatter_owned(ln, Yl, *job.Y, 0, B);
+      break;
+    }
+    case JobKind::filter:
+      lane_filter(ln, *job.Xf, job.col0, job.ncols, job.degree, job.a, job.b, job.a0,
+                  job.mode);
+      break;
+    case JobKind::pulse: {
+      // Minimal halo round: every lane posts to and receives from each
+      // active neighbor once. Used by the fault-propagation stress tests.
+      la::Matrix<T>& Yl = ln.yb.acquire_zeroed(ln.nloc, 1);
+      post_halo(ln, ln.lower, Yl, 0);
+      post_halo(ln, ln.upper, Yl, ln.nloc - plane_size_);
+      ln.steps[0].wait = recv_halo(ln, ln.lower, Yl, 0) +
+                         recv_halo(ln, ln.upper, Yl, ln.nloc - plane_size_);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+template <class T>
+void SlabEngine<T>::submit(Job job) {
+  job.mode = opt_.mode;
+  std::unique_lock<std::mutex> lk(mu_);
+  job_ = job;
+  done_count_ = 0;
+  first_error_ = nullptr;
+  ++job_seq_;
+  cv_job_.notify_all();
+  cv_done_.wait(lk, [&] { return done_count_ == static_cast<int>(lanes_.size()); });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    // All lanes are parked again; clear poisoned/in-flight mailbox state so
+    // the engine is usable for the next job.
+    for (auto& ch : channels_) ch->reset();
+    std::rethrow_exception(e);
+  }
+}
+
+template <class T>
+void SlabEngine<T>::ensure_wire_capacity(index_t ncols) {
+  const index_t count = plane_size_ * ncols;
+  for (auto& ch : channels_) ch->init(opt_.wire, count);
+}
+
+template <class T>
+void SlabEngine<T>::ensure_step_storage(int nsteps) {
+  for (auto& ln : lanes_)
+    if (ln->steps.size() < static_cast<std::size_t>(nsteps))
+      ln->steps.resize(static_cast<std::size_t>(nsteps));
+}
+
+template <class T>
+void SlabEngine<T>::collect_step_stats(int nsteps) {
+  step_stats_.assign(static_cast<std::size_t>(nsteps), EngineStepStats{});
+  for (int k = 0; k < nsteps; ++k) {
+    EngineStepStats& st = step_stats_[static_cast<std::size_t>(k)];
+    for (auto& ln : lanes_) {
+      st.compute = std::max(st.compute, ln->steps[static_cast<std::size_t>(k)].compute);
+      st.wait = std::max(st.wait, ln->steps[static_cast<std::size_t>(k)].wait);
+      st.modeled = std::max(st.modeled, ln->steps[static_cast<std::size_t>(k)].modeled);
+    }
+  }
+}
+
+template <class T>
+void SlabEngine<T>::set_potential(const std::vector<double>& v_eff) {
+  if (static_cast<index_t>(v_eff.size()) < dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::set_potential: field too short");
+  for (auto& lp : lanes_) {
+    Lane& ln = *lp;
+    for (index_t p = 0; p < ln.nplanes_loc; ++p)
+      for (index_t i = 0; i < plane_size_; ++i)
+        ln.veff[p * plane_size_ + i] = v_eff[ln.gplane[p] * plane_size_ + i];
+  }
+}
+
+template <class T>
+void SlabEngine<T>::apply(const la::Matrix<T>& X, la::Matrix<T>& Y) {
+  if (X.rows() != dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::apply: row count mismatch");
+  Y.reshape(X.rows(), X.cols());
+  ensure_wire_capacity(X.cols());
+  ensure_step_storage(1);
+  Job j;
+  j.kind = JobKind::apply;
+  j.X = &X;
+  j.Y = &Y;
+  submit(j);
+  collect_step_stats(1);
+}
+
+template <class T>
+void SlabEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
+                                 int degree, double a, double b, double a0) {
+  if (X.rows() != dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::filter_block: row count mismatch");
+  if (col0 < 0 || ncols < 1 || col0 + ncols > X.cols())
+    throw std::invalid_argument("SlabEngine::filter_block: bad column range");
+  if (degree < 1) throw std::invalid_argument("SlabEngine::filter_block: degree >= 1");
+  ensure_wire_capacity(ncols);
+  ensure_step_storage(degree);
+  Job j;
+  j.kind = JobKind::filter;
+  j.Xf = &X;
+  j.col0 = col0;
+  j.ncols = ncols;
+  j.degree = degree;
+  j.a = a;
+  j.b = b;
+  j.a0 = a0;
+  submit(j);
+  collect_step_stats(degree);
+}
+
+template <class T>
+CommStats SlabEngine<T>::comm_stats() const {
+  CommStats total;
+  for (const auto& ln : lanes_) {
+    total.bytes += ln->comm.bytes;
+    total.messages += ln->comm.messages;
+    total.modeled_seconds += ln->comm.modeled_seconds;
+    total.pack_seconds += ln->comm.pack_seconds;
+  }
+  return total;
+}
+
+template <class T>
+void SlabEngine<T>::clear_comm_stats() {
+  for (auto& ln : lanes_) ln->comm = CommStats{};
+}
+
+template <class T>
+void SlabEngine<T>::debug_fault(int lane) {
+  if (lane < 0 || lane >= nlanes())
+    throw std::invalid_argument("SlabEngine::debug_fault: bad lane");
+  ensure_wire_capacity(1);
+  ensure_step_storage(1);
+  Job j;
+  j.kind = JobKind::pulse;
+  j.fault_lane = lane;
+  submit(j);
+}
+
+template class SlabEngine<double>;
+template class SlabEngine<complex_t>;
+
+}  // namespace dftfe::dd

@@ -1,0 +1,449 @@
+#pragma once
+
+// Threaded multi-rank slab execution engine — the paper's asynchronous
+// compute/communication overlap (Sec. 5.4.2–5.4.3) executed for real instead
+// of simulated. Each rank of a cell-aligned SlabPartition becomes a
+// std::thread "lane" that owns one z-slab of the operator:
+//
+//   * its own sub-mesh DofHandler and CellStiffness segments (a one-layer
+//     boundary segment per interface plus the interior bulk), so the
+//     cell-level batched-GEMM kernels of fe/cell_ops.hpp run unchanged on
+//     the slab;
+//   * lane-local slices of the global mass / potential / boundary-mask nodal
+//     fields (sliced from the *global* DofHandler — a slab-local assembly
+//     would be wrong on interface planes);
+//   * persistent per-lane workspace blocks (la::WorkMatrix), so the steady
+//     state of the recurrence allocates nothing after lane startup.
+//
+// Halo exchange goes through double-buffered HaloChannel mailboxes
+// (dd/mailbox.hpp) carrying the partition-interface *partial sums* of the
+// kinetic apply in the exact FP64/FP32 wire format of dd/exchange.hpp. Both
+// execution modes run the same arithmetic in the same order — only the
+// position of the receive differs:
+//
+//   sync  : boundary compute -> post halos -> WAIT -> interior compute
+//           -> epilogue                             (exposed wire time)
+//   async : boundary compute -> post halos -> interior compute
+//           -> interior epilogue -> WAIT -> interface epilogue
+//                                                   (wire time hidden)
+//
+// so sync and async produce bitwise-identical results and their wall-clock
+// difference is exactly the measured overlap win (bench_ablation_async_overlap;
+// dd/pipeline.hpp's simulate_sync/simulate_overlap now serve as analytic
+// bounds on these measured times).
+//
+// Numerics: with the FP64 wire, interface partial sums combine as a + b on
+// one side and b + a on the other (IEEE addition is commutative), so ghost
+// planes stay bitwise consistent across lanes and the engine matches the
+// undecomposed reference apply to FP-association order (~1e-15); with the
+// FP32 wire each side adds the *other* side's demoted partial to its own
+// full-precision one, reproducing the asymmetric interface rounding of a
+// real distributed run.
+//
+// Threading contract: lanes pin their OpenMP team to one thread (the GEMM
+// kernels' inner `parallel for` would otherwise oversubscribe), so
+// lane-level concurrency replaces OpenMP scaling when the engine is active.
+// Pick nlanes ≈ physical cores for throughput; the public entry points
+// (apply / filter_block / set_potential / set_mode) must be called from one
+// driver thread. A lane failure poisons its mailboxes so every lane (and the
+// submitter) unblocks; the first exception is rethrown on the driver thread
+// and the engine resets to a usable state.
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "base/timer.hpp"
+#include "dd/exchange.hpp"
+#include "dd/mailbox.hpp"
+#include "dd/partition.hpp"
+#include "fe/cell_ops.hpp"
+#include "fe/dofs.hpp"
+#include "fe/mesh.hpp"
+#include "la/matrix.hpp"
+#include "la/mixed.hpp"
+#include "la/workspace.hpp"
+#include "obs/trace.hpp"
+
+namespace dftfe::dd {
+
+enum class EngineMode { sync, async };
+
+struct EngineOptions {
+  int nlanes = 2;
+  EngineMode mode = EngineMode::async;
+  Wire wire = Wire::fp64;
+  CommModel model{};              // interconnect model for stats / injection
+  bool inject_wire_delay = false; // sleep out the modeled wire time on receive
+  bool hamiltonian = true;        // mass/potential/boundary epilogue vs bare stiffness
+  double coef_lap = 0.5;          // 0.5 = kinetic operator, 1.0 = Poisson stiffness
+  std::array<double, 3> kpoint{0.0, 0.0, 0.0};
+};
+
+/// Per-recurrence-step timing, reduced over lanes (max): `compute` excludes
+/// halo waits, `wait` is the exposed receive time, `modeled` the interconnect
+/// model's transfer time for the step's packets.
+struct EngineStepStats {
+  double compute = 0.0;
+  double wait = 0.0;
+  double modeled = 0.0;
+};
+
+template <class T>
+class SlabEngine {
+ public:
+  explicit SlabEngine(const fe::DofHandler& dofh, EngineOptions opt = {});
+  ~SlabEngine();
+  SlabEngine(const SlabEngine&) = delete;
+  SlabEngine& operator=(const SlabEngine&) = delete;
+
+  int nlanes() const { return static_cast<int>(lanes_.size()); }
+  const SlabPartition& partition() const { return part_; }
+  EngineMode mode() const { return opt_.mode; }
+  /// Switch sync/async between jobs (driver thread only).
+  void set_mode(EngineMode m) { opt_.mode = m; }
+
+  /// Refresh the lane-local effective-potential slices (hamiltonian mode).
+  void set_potential(const std::vector<double>& v_eff);
+
+  /// Y = op(X) across all lanes (op = scaled Hamiltonian or bare stiffness,
+  /// per EngineOptions). Blocks until every lane finished its slab.
+  void apply(const la::Matrix<T>& X, la::Matrix<T>& Y);
+
+  /// Run the degree-`degree` scaled-and-shifted Chebyshev recurrence of
+  /// ks/chfes.hpp on columns [col0, col0+ncols) of X, in place: each lane
+  /// executes the full recurrence on its slab, exchanging interface partial
+  /// sums through the mailboxes each step. Lanes drift up to one exchange
+  /// apart (double buffering) — the cross-block pipelining the simulator
+  /// only modeled.
+  void filter_block(la::Matrix<T>& X, index_t col0, index_t ncols, int degree,
+                    double a, double b, double a0);
+
+  /// Aggregated wire traffic over all lanes since construction /
+  /// clear_comm_stats(). Call between jobs.
+  CommStats comm_stats() const;
+  void clear_comm_stats();
+
+  /// Per-step timings of the most recent job (max over lanes).
+  const std::vector<EngineStepStats>& last_step_stats() const { return step_stats_; }
+
+  /// Test hook: run a minimal halo round in which `lane` throws instead of
+  /// posting — exercises failure cascade + engine reset. Rethrows the lane's
+  /// exception on the calling thread; the engine stays usable afterwards.
+  void debug_fault(int lane);
+
+ private:
+  enum class JobKind { none, apply, filter, pulse, stop };
+  struct Job {
+    JobKind kind = JobKind::none;
+    EngineMode mode = EngineMode::sync;
+    const la::Matrix<T>* X = nullptr;  // apply input
+    la::Matrix<T>* Y = nullptr;        // apply output
+    la::Matrix<T>* Xf = nullptr;       // filter in/out
+    index_t col0 = 0, ncols = 0;
+    int degree = 0;
+    double a = 0.0, b = 0.0, a0 = 0.0;
+    int fault_lane = -1;
+  };
+  struct Segment {
+    std::unique_ptr<fe::Mesh> mesh;    // sub-mesh must outlive its DofHandler
+    std::unique_ptr<fe::DofHandler> dofh;
+    std::unique_ptr<fe::CellStiffness<T>> op;
+    index_t row0 = 0;                  // first lane-local row covered
+    index_t nrows = 0;                 // rows covered (= dofh->ndofs())
+    bool boundary = false;             // touches an interface (computed first)
+    la::WorkMatrix<T> xs, ys;          // gather / local-result chunks
+  };
+  struct Neighbor {
+    HaloChannel<T>* send = nullptr;
+    HaloChannel<T>* recv = nullptr;
+    bool active = false;
+  };
+  struct Lane {
+    index_t nloc = 0;                  // local rows = nplanes_loc * plane_size
+    index_t nplanes_loc = 0;
+    index_t own_plane_end = 0;         // local planes [0, own_plane_end) are owned
+    std::vector<index_t> gplane;       // local plane -> global plane (wrap-aware)
+    std::vector<double> ims, veff, bmask;  // slices of the global nodal fields
+    std::vector<Segment> segments;     // bottom boundary, top boundary, interior
+    Neighbor lower, upper;
+    la::WorkMatrix<T> sl, xb, yb, zb;  // scaled input + recurrence blocks
+    std::vector<EngineStepStats> steps;
+    CommStats comm;
+    std::thread th;
+  };
+
+  // --- cold control plane (engine.cpp) ---------------------------------
+  void build_lanes();
+  void start_lanes();
+  void lane_main(int r);
+  void run_job(int r, const Job& job);
+  void submit(Job job);
+  void ensure_wire_capacity(index_t ncols);
+  void ensure_step_storage(int nsteps);
+  void collect_step_stats(int nsteps);
+  void close_lane_channels(Lane& ln);
+
+  std::int64_t wire_bytes(index_t ncols) const {
+    const std::int64_t per =
+        (opt_.wire == Wire::fp32) ? sizeof(la::low_precision_t<T>) : sizeof(T);
+    return static_cast<std::int64_t>(plane_size_) * ncols * per;
+  }
+
+  // --- hot data plane (runs on lane threads; allocation-free once warm) --
+
+  /// Pack one interface plane of Yl through the wire and publish it, stamped
+  /// with the modeled transfer time.
+  void post_halo(Lane& ln, Neighbor& nb, const la::Matrix<T>& Yl, index_t row0) {
+    if (!nb.active) return;
+    Timer tp;
+    const index_t P = plane_size_, B = Yl.cols();
+    const int s = nb.send->begin_post();
+    if (opt_.wire == Wire::fp32) {
+      la::low_precision_t<T>* w = nb.send->buf32(s);
+      for (index_t j = 0; j < B; ++j) la::demote(Yl.col(j) + row0, w + j * P, P);
+    } else {
+      T* w = nb.send->buf64(s);
+      for (index_t j = 0; j < B; ++j)
+        std::copy(Yl.col(j) + row0, Yl.col(j) + row0 + P, w + j * P);
+    }
+    const std::int64_t bytes = wire_bytes(B);
+    const double modeled = opt_.model.time(bytes, 1);
+    auto ready = HaloChannel<T>::Clock::now();
+    if (opt_.inject_wire_delay)
+      ready += std::chrono::duration_cast<typename HaloChannel<T>::Clock::duration>(
+          std::chrono::duration<double>(modeled));
+    nb.send->finish_post(s, ready);
+    ln.comm.bytes += bytes;
+    ln.comm.messages += 1;
+    ln.comm.pack_seconds += tp.seconds();
+  }
+
+  /// Wait for the neighbor's interface partial and accumulate it into the
+  /// shared plane of Yl. Returns the exposed wait (block + residual wire
+  /// time); unpack cost goes to pack_seconds.
+  double recv_halo(Lane& ln, Neighbor& nb, la::Matrix<T>& Yl, index_t row0) {
+    if (!nb.active) return 0.0;
+    obs::TraceSpan span("CF-halo", "dd");
+    Timer tw;
+    const index_t P = plane_size_, B = Yl.cols();
+    const int s = nb.recv->wait_packet();
+    const double waited = tw.seconds();
+    Timer tu;
+    if (nb.recv->wire() == Wire::fp32) {
+      const la::low_precision_t<T>* w = nb.recv->cbuf32(s);
+      for (index_t j = 0; j < B; ++j) {
+        T* y = Yl.col(j) + row0;
+        const la::low_precision_t<T>* wj = w + j * P;
+        for (index_t i = 0; i < P; ++i) y[i] += static_cast<T>(wj[i]);
+      }
+    } else {
+      const T* w = nb.recv->cbuf64(s);
+      for (index_t j = 0; j < B; ++j) {
+        T* y = Yl.col(j) + row0;
+        const T* wj = w + j * P;
+        for (index_t i = 0; i < P; ++i) y[i] += wj[i];
+      }
+    }
+    nb.recv->release(s);
+    const std::int64_t bytes = wire_bytes(B);
+    ln.comm.bytes += bytes;
+    ln.comm.messages += 1;
+    ln.comm.modeled_seconds += opt_.model.time(bytes, 1);
+    ln.comm.pack_seconds += tu.seconds();
+    return waited;
+  }
+
+  /// Yl[rows of sg] += A_seg * S[rows of sg] via the segment's cell kernels.
+  void apply_segment(Segment& sg, const la::Matrix<T>& S, la::Matrix<T>& Yl) {
+    const index_t B = S.cols();
+    la::Matrix<T>& Xs = sg.xs.acquire(sg.nrows, B);
+    la::Matrix<T>& Ys = sg.ys.acquire_zeroed(sg.nrows, B);
+    for (index_t j = 0; j < B; ++j)
+      std::copy(S.col(j) + sg.row0, S.col(j) + sg.row0 + sg.nrows, Xs.col(j));
+    sg.op->apply_add(Xs, Ys);
+    for (index_t j = 0; j < B; ++j) {
+      T* y = Yl.col(j) + sg.row0;
+      const T* ys = Ys.col(j);
+      for (index_t i = 0; i < sg.nrows; ++i) y[i] += ys[i];
+    }
+  }
+
+  /// The fused epilogue of ks::Hamiltonian::apply_fused on rows [r0, r1):
+  /// Y = scale * ((Y * M^-1/2 + v X) * (1-bmask) - c X) - zc Z, with the same
+  /// branch structure (and therefore the same arithmetic) as the reference.
+  void epilogue_rows(Lane& ln, const la::Matrix<T>& Xl, la::Matrix<T>& Yl,
+                     const la::Matrix<T>* Zl, double c, double scale, double zc,
+                     index_t r0, index_t r1) {
+    if (r0 >= r1) return;
+    const index_t B = Xl.cols();
+    if (!opt_.hamiltonian) {
+      // Bare stiffness: identity epilogue for a plain apply, shift-scale
+      // otherwise (so the filter recurrence still works on e.g. the Poisson
+      // operator).
+      if (Zl == nullptr && c == 0.0 && scale == 1.0) return;
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = r0; i < r1; ++i) {
+          const T zterm = (Zl != nullptr) ? T(zc) * (*Zl)(i, j) : T{};
+          Yl(i, j) = T(scale) * (Yl(i, j) - T(c) * Xl(i, j)) - zterm;
+        }
+      return;
+    }
+    const double* ims = ln.ims.data();
+    const double* v = ln.veff.data();
+    const double* bm = ln.bmask.data();
+    if (Zl == nullptr && c == 0.0 && scale == 1.0) {
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = r0; i < r1; ++i)
+          Yl(i, j) = (Yl(i, j) * T(ims[i]) + T(v[i]) * Xl(i, j)) * T(1.0 - bm[i]);
+    } else if (Zl == nullptr) {
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = r0; i < r1; ++i) {
+          const T h = (Yl(i, j) * T(ims[i]) + T(v[i]) * Xl(i, j)) * T(1.0 - bm[i]);
+          Yl(i, j) = T(scale) * (h - T(c) * Xl(i, j));
+        }
+    } else {
+      for (index_t j = 0; j < B; ++j)
+        for (index_t i = r0; i < r1; ++i) {
+          const T h = (Yl(i, j) * T(ims[i]) + T(v[i]) * Xl(i, j)) * T(1.0 - bm[i]);
+          Yl(i, j) = T(scale) * (h - T(c) * Xl(i, j)) - T(zc) * (*Zl)(i, j);
+        }
+    }
+  }
+
+  /// One fused operator step Yl = scale*(op Xl - c Xl) - zc Zl on the lane's
+  /// slab, including the halo exchange of interface partial sums. Sync and
+  /// async modes execute identical arithmetic; only the receive position
+  /// differs (see the schedule in the header comment).
+  void lane_fused_step(Lane& ln, const la::Matrix<T>& Xl, la::Matrix<T>& Yl,
+                       const la::Matrix<T>* Zl, double c, double scale, double zc,
+                       EngineMode mode, int step) {
+    Timer tstep;
+    double waited = 0.0;
+    const double modeled0 = ln.comm.modeled_seconds;
+    const index_t nloc = ln.nloc, B = Xl.cols(), P = plane_size_;
+    la::Matrix<T>& S = ln.sl.acquire(nloc, B);
+    if (opt_.hamiltonian) {
+      const double* ims = ln.ims.data();
+      const double* bm = ln.bmask.data();
+      for (index_t j = 0; j < B; ++j) {
+        const T* x = Xl.col(j);
+        T* s = S.col(j);
+        for (index_t i = 0; i < nloc; ++i) s[i] = x[i] * T(ims[i] * (1.0 - bm[i]));
+      }
+    } else {
+      for (index_t j = 0; j < B; ++j) std::copy(Xl.col(j), Xl.col(j) + nloc, S.col(j));
+    }
+    Yl.zero();
+    // Interface-adjacent cell layers first, so the halo partials leave as
+    // early as possible...
+    for (Segment& sg : ln.segments)
+      if (sg.boundary) apply_segment(sg, S, Yl);
+    post_halo(ln, ln.lower, Yl, 0);
+    post_halo(ln, ln.upper, Yl, nloc - P);
+    if (mode == EngineMode::sync) {
+      waited += recv_halo(ln, ln.lower, Yl, 0);
+      waited += recv_halo(ln, ln.upper, Yl, nloc - P);
+    }
+    // ...then the interior bulk computes while the wire is busy.
+    for (Segment& sg : ln.segments)
+      if (!sg.boundary) apply_segment(sg, S, Yl);
+    const index_t lo = ln.lower.active ? P : 0;
+    const index_t hi = ln.upper.active ? nloc - P : nloc;
+    epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, lo, hi);
+    if (mode == EngineMode::async) {
+      waited += recv_halo(ln, ln.lower, Yl, 0);
+      waited += recv_halo(ln, ln.upper, Yl, nloc - P);
+    }
+    if (ln.lower.active) epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, 0, P);
+    if (ln.upper.active) epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, nloc - P, nloc);
+    EngineStepStats& st = ln.steps[static_cast<std::size_t>(step)];
+    st.wait = waited;
+    st.compute = tstep.seconds() - waited;
+    st.modeled = ln.comm.modeled_seconds - modeled0;
+  }
+
+  /// Copy the lane's local planes (owned + ghost) of columns
+  /// [col0, col0+ncols) out of the global block.
+  void gather_block(Lane& ln, const la::Matrix<T>& X, index_t col0, index_t ncols,
+                    la::Matrix<T>& Xl) {
+    const index_t P = plane_size_;
+    for (index_t j = 0; j < ncols; ++j) {
+      const T* src = X.col(col0 + j);
+      T* dst = Xl.col(j);
+      for (index_t lp = 0; lp < ln.nplanes_loc; ++lp)
+        std::copy(src + ln.gplane[lp] * P, src + (ln.gplane[lp] + 1) * P, dst + lp * P);
+    }
+  }
+
+  /// Scatter the lane's owned planes back into the global block (lanes write
+  /// disjoint plane ranges, so concurrent scatters need no synchronization).
+  void scatter_owned(Lane& ln, const la::Matrix<T>& Yl, la::Matrix<T>& Y, index_t col0,
+                     index_t ncols) {
+    const index_t P = plane_size_;
+    for (index_t j = 0; j < ncols; ++j) {
+      const T* src = Yl.col(j);
+      T* dst = Y.col(col0 + j);
+      for (index_t lp = 0; lp < ln.own_plane_end; ++lp)
+        std::copy(src + lp * P, src + (lp + 1) * P, dst + ln.gplane[lp] * P);
+    }
+  }
+
+  /// The full Chebyshev recurrence of ks::ChebyshevFilteredSolver::filter()
+  /// on the lane's slab: three ping-pong blocks rotated by pointer, the
+  /// shift-scale-subtract update fused into each step's epilogue.
+  void lane_filter(Lane& ln, la::Matrix<T>& X, index_t col0, index_t ncols, int degree,
+                   double a, double b, double a0, EngineMode mode) {
+    obs::TraceSpan span("CF-lane", "dd");
+    const index_t nloc = ln.nloc;
+    la::Matrix<T>* Xb = &ln.xb.acquire(nloc, ncols);
+    la::Matrix<T>* Yb = &ln.yb.acquire(nloc, ncols);
+    la::Matrix<T>* Zb = &ln.zb.acquire(nloc, ncols);
+    gather_block(ln, X, col0, ncols, *Xb);
+    const double e = (b - a) / 2.0, c = (b + a) / 2.0;
+    double sigma = e / (a0 - c);
+    const double sigma1 = sigma;
+    lane_fused_step(ln, *Xb, *Yb, nullptr, c, sigma1 / e, 0.0, mode, 0);
+    for (int k = 2; k <= degree; ++k) {
+      const double sigma2 = 1.0 / (2.0 / sigma1 - sigma);
+      lane_fused_step(ln, *Yb, *Zb, Xb, c, 2.0 * sigma2 / e, sigma * sigma2, mode, k - 1);
+      la::Matrix<T>* t = Xb;
+      Xb = Yb;
+      Yb = Zb;
+      Zb = t;
+      sigma = sigma2;
+    }
+    scatter_owned(ln, *Yb, X, col0, ncols);
+  }
+
+  const fe::DofHandler* dofh_;
+  EngineOptions opt_;
+  SlabPartition part_;
+  index_t plane_size_ = 0;
+  std::vector<std::unique_ptr<HaloChannel<T>>> channels_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<EngineStepStats> step_stats_;
+
+  // Job broadcast protocol: the driver publishes a Job under mu_ and bumps
+  // job_seq_; parked lanes copy it and run; the driver sleeps on cv_done_
+  // until every lane checked in (lane writes to their Lane state are
+  // published to the driver by that same mutex).
+  std::mutex mu_;
+  std::condition_variable cv_job_, cv_done_;
+  Job job_;
+  std::uint64_t job_seq_ = 0;
+  int done_count_ = 0;
+  std::exception_ptr first_error_;
+};
+
+extern template class SlabEngine<double>;
+extern template class SlabEngine<complex_t>;
+
+}  // namespace dftfe::dd

@@ -1,0 +1,160 @@
+#pragma once
+
+// Double-buffered halo mailbox: the transport of the threaded rank engine
+// (dd/engine.hpp). One HaloChannel is a single-producer/single-consumer FIFO
+// of fixed-size packets between two lanes (mutex + condition variable, two
+// slots). The payload passes through typed FP32 or FP64 wire storage — the
+// exact pack/wire/unpack path of dd/exchange.hpp, so the numerical effect of
+// single-precision boundary communication is identical in the real engine
+// and in the modeled BoundaryExchange.
+//
+// Wire time: a packet carries a `ready` timestamp chosen by the sender
+// (steady clock "now" plus the modeled interconnect time when delay
+// injection is on). wait_packet() blocks until the packet is published AND
+// its wire time has elapsed, so the wall-clock cost of communication is
+// *measured* on the receiving lane — the schedule the pipeline simulator in
+// dd/pipeline.hpp plays on paper happens here for real: an overlapped
+// receiver that arrives after `ready` pays nothing, a synchronous receiver
+// pays the full exposed wire time.
+//
+// Concurrency contract: exactly one sender thread and one receiver thread
+// per channel (the engine wires one channel per interface per direction).
+// Two slots are sufficient because a lane can run at most one exchange ahead
+// of its neighbor (the next recurrence step's boundary compute needs the
+// previous halo). close() poisons the channel: blocked peers wake and throw,
+// which is how a lane failure cascades to every lane instead of deadlocking.
+//
+// Zero-allocation: both slot buffers are sized once in init(); post/wait/
+// release never touch the heap (enforced by tools/lint_invariants.py).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "dd/exchange.hpp"
+#include "la/mixed.hpp"
+#include "la/workspace.hpp"
+
+namespace dftfe::dd {
+
+template <class T>
+class HaloChannel {
+ public:
+  using L = la::low_precision_t<T>;
+  using Clock = std::chrono::steady_clock;
+
+  /// Size both slots for packets of up to `max_count` values and select the
+  /// wire format. Cold path: called once at lane startup (and again only if
+  /// a larger block size shows up; ensure_scratch is grow-only).
+  void init(Wire wire, index_t max_count) {
+    std::lock_guard<std::mutex> lk(mu_);
+    wire_ = wire;
+    for (Slot& s : slots_) {
+      if (wire == Wire::fp32)
+        la::ensure_scratch(s.w32, static_cast<std::size_t>(max_count));
+      else
+        la::ensure_scratch(s.w64, static_cast<std::size_t>(max_count));
+    }
+  }
+
+  Wire wire() const { return wire_; }
+
+  /// Drop all in-flight packets and clear the poison flag (job-failure
+  /// recovery; both endpoint lanes must be quiescent).
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Slot& s : slots_) s.full = false;
+    head_ = tail_ = 0;
+    in_flight_ = 0;
+    closed_ = false;
+  }
+
+  /// Poison the channel: wake both endpoints; subsequent begin_post() /
+  /// wait_packet() calls throw instead of blocking forever on a dead peer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_send_.notify_all();
+    cv_recv_.notify_all();
+  }
+
+  /// Sender: claim the next slot (blocks while both slots are in flight).
+  int begin_post() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_send_.wait(lk, [&] { return closed_ || in_flight_ < kSlots; });
+    if (closed_) throw std::runtime_error("dd::HaloChannel: closed (peer lane failed)");
+    return tail_;
+  }
+  T* buf64(int s) { return slots_[s].w64.data(); }
+  L* buf32(int s) { return slots_[s].w32.data(); }
+
+  /// Publish a packed slot; it becomes receivable once the steady clock
+  /// passes `ready` (the sender stamps now + modeled wire time).
+  void finish_post(int s, Clock::time_point ready) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      slots_[s].ready = ready;
+      slots_[s].full = true;
+      tail_ = (tail_ + 1) % kSlots;
+      ++in_flight_;
+    }
+    cv_recv_.notify_one();
+  }
+
+  /// Receiver: block until the oldest packet is published, then sleep out
+  /// whatever remains of its wire time. Returns the slot index.
+  int wait_packet() {
+    int s = -1;
+    Clock::time_point ready;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_recv_.wait(lk, [&] { return closed_ || slots_[head_].full; });
+      if (!slots_[head_].full)
+        throw std::runtime_error("dd::HaloChannel: closed (peer lane failed)");
+      s = head_;
+      ready = slots_[s].ready;
+    }
+    // Exposed wire time: nothing if the receiver overlapped past `ready`.
+    if (ready > Clock::now()) std::this_thread::sleep_until(ready);
+    return s;
+  }
+  const T* cbuf64(int s) const { return slots_[s].w64.data(); }
+  const L* cbuf32(int s) const { return slots_[s].w32.data(); }
+
+  /// Receiver: hand the slot back to the sender.
+  void release(int s) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      slots_[s].full = false;
+      head_ = (head_ + 1) % kSlots;
+      --in_flight_;
+    }
+    cv_send_.notify_one();
+  }
+
+ private:
+  static constexpr int kSlots = 2;
+  struct Slot {
+    std::vector<T> w64;
+    std::vector<L> w32;
+    Clock::time_point ready{};
+    bool full = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_send_, cv_recv_;
+  Slot slots_[kSlots];
+  int head_ = 0;  // next slot the receiver consumes
+  int tail_ = 0;  // next slot the sender fills
+  int in_flight_ = 0;
+  bool closed_ = false;
+  Wire wire_ = Wire::fp64;
+};
+
+}  // namespace dftfe::dd

@@ -20,4 +20,29 @@ SlabPartition::SlabPartition(const fe::DofHandler& dofh, int nranks) {
   if (dofh.mesh().axis(2).periodic && r_eff > 1) interfaces_.push_back(0);
 }
 
+SlabPartition SlabPartition::cell_aligned(const fe::DofHandler& dofh, int nranks) {
+  if (nranks < 1)
+    throw std::invalid_argument("SlabPartition::cell_aligned: nranks >= 1 required");
+  SlabPartition p;
+  p.cell_aligned_ = true;
+  p.plane_size_ = dofh.naxis(0) * dofh.naxis(1);
+  p.nplanes_ = dofh.naxis(2);
+  const index_t ncz = dofh.mesh().ncells(2);
+  const int deg = dofh.degree();
+  const int r_eff = static_cast<int>(std::min<index_t>(nranks, ncz));
+  p.slabs_.resize(r_eff);
+  for (int r = 0; r < r_eff; ++r) {
+    Slab& s = p.slabs_[r];
+    s.c_begin = ncz * r / r_eff;
+    s.c_end = ncz * (r + 1) / r_eff;
+    s.z_begin = s.c_begin * deg;
+    // The last rank of a non-periodic z axis also owns the final dof plane
+    // (periodic axes have nplanes == ncz * deg, so the expression coincides).
+    s.z_end = (r == r_eff - 1) ? p.nplanes_ : s.c_end * deg;
+  }
+  for (int r = 1; r < r_eff; ++r) p.interfaces_.push_back(p.slabs_[r].z_begin);
+  if (dofh.mesh().axis(2).periodic && r_eff > 1) p.interfaces_.push_back(0);
+  return p;
+}
+
 }  // namespace dftfe::dd

@@ -1,11 +1,20 @@
 #pragma once
 
 // Domain decomposition of the structured FE dof grid into z-slabs, one per
-// emulated MPI rank. No real network exists in this environment, so the
-// communication layer (exchange.hpp) moves the data through staging buffers
-// (preserving the exact pack/wire/unpack code path, including the FP32 wire
-// format of Sec. 5.4.2) and charges a modeled interconnect time for it. The
-// strong-scaling benches combine this with OpenMP thread scaling.
+// rank. Two execution paths share this bookkeeping:
+//
+//  * the *modeled* path (exchange.hpp + pipeline.hpp): a single thread moves
+//    interface planes through staging buffers — preserving the exact
+//    pack/wire/unpack code path, including the FP32 wire format of
+//    Sec. 5.4.2 — and charges a modeled interconnect time;
+//  * the *real* path (engine.hpp): each rank is a live std::thread lane with
+//    its own slab operator, and halo exchange actually happens through
+//    double-buffered mailboxes (mailbox.hpp) while the interior computes.
+//
+// The real engine needs slab boundaries that coincide with mesh cell-layer
+// boundaries (each slab must be a standalone sub-mesh), which the
+// `cell_aligned` factory guarantees; the plane-count constructor splits dof
+// planes evenly and remains the modeled path's default.
 //
 // Because dofs are numbered x-fastest, each z-plane is a contiguous index
 // range, which is what makes slab interfaces cheap to pack.
@@ -20,16 +29,27 @@ namespace dftfe::dd {
 struct Slab {
   index_t z_begin = 0;  // first owned z-plane
   index_t z_end = 0;    // one past last owned z-plane
+  index_t c_begin = 0;  // first owned z cell layer (cell-aligned partitions only)
+  index_t c_end = 0;    // one past last owned z cell layer
 };
 
 class SlabPartition {
  public:
   SlabPartition(const fe::DofHandler& dofh, int nranks);
 
+  /// Partition whose slab boundaries land on cell-layer boundaries, so each
+  /// rank's slab is a standalone sub-mesh: slab r owns cell layers
+  /// [c_begin, c_end) and dof planes [c_begin*degree, c_end*degree) (the last
+  /// rank of a non-periodic axis additionally owns the final plane). This is
+  /// the partition the threaded rank engine (engine.hpp) runs on; ranks are
+  /// clamped to the number of z cell layers.
+  static SlabPartition cell_aligned(const fe::DofHandler& dofh, int nranks);
+
   int nranks() const { return static_cast<int>(slabs_.size()); }
   const Slab& slab(int r) const { return slabs_[r]; }
   index_t plane_size() const { return plane_size_; }  // dofs per z-plane
   index_t nplanes() const { return nplanes_; }
+  bool cell_aligned_slabs() const { return cell_aligned_; }
 
   /// Interface planes between neighboring ranks (z index of the shared
   /// plane). With periodic z there is additionally the wrap interface at
@@ -42,10 +62,13 @@ class SlabPartition {
   }
 
  private:
+  SlabPartition() = default;
+
   std::vector<Slab> slabs_;
   std::vector<index_t> interfaces_;
   index_t plane_size_ = 0;
   index_t nplanes_ = 0;
+  bool cell_aligned_ = false;
 };
 
 }  // namespace dftfe::dd

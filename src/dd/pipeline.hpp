@@ -10,6 +10,16 @@
 // per-block (compute, comm) durations: one compute lane, one communication
 // lane, exchange of a block may start once its compute finished and the
 // previous exchange drained.
+//
+// Relationship to the real engine: since the threaded rank engine
+// (dd/engine.hpp) runs sync/async halo exchange for real, this simulator is
+// the *modeling* tool of the pair — it extrapolates schedules to rank
+// counts and interconnects this machine does not have (bench_fig5,
+// bench_fig8), and it bounds the engine's measured walls from both sides
+// (a measured run must land between simulate_overlap and simulate_sync of
+// its own per-step timings; tests/test_engine.cpp asserts this). Feed it
+// either modeled (compute, comm) pairs from the CommModel or measured pairs
+// from SlabEngine::last_step_stats().
 
 #include <algorithm>
 #include <vector>

@@ -45,4 +45,13 @@ Mesh make_uniform_mesh(double L, index_t n, bool periodic) {
               make_uniform_axis(L, n, periodic));
 }
 
+Mesh make_slab_mesh(const Mesh& m, index_t cz_begin, index_t cz_end) {
+  if (cz_begin < 0 || cz_end > m.ncells(2) || cz_begin >= cz_end)
+    throw std::invalid_argument("make_slab_mesh: bad z cell-layer range");
+  Axis z;
+  z.periodic = false;
+  z.nodes.assign(m.axis(2).nodes.begin() + cz_begin, m.axis(2).nodes.begin() + cz_end + 1);
+  return Mesh(m.axis(0), m.axis(1), std::move(z));
+}
+
 }  // namespace dftfe::fe

@@ -72,4 +72,11 @@ class Mesh {
 /// Convenience: cubic box [0, L]^3 with n cells per axis.
 Mesh make_uniform_mesh(double L, index_t n, bool periodic = false);
 
+/// Extract the z-slab sub-mesh covering cell layers [cz_begin, cz_end): the
+/// x/y axes are shared unchanged (including their periodicity); the z axis
+/// keeps only the covered node range and is never periodic — slab interfaces
+/// (including the periodic wrap) are handled by halo exchange in the rank
+/// engine (dd/engine.hpp), not by index wrap inside the slab.
+Mesh make_slab_mesh(const Mesh& m, index_t cz_begin, index_t cz_end);
+
 }  // namespace dftfe::fe

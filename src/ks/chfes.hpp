@@ -20,6 +20,7 @@
 #include "base/flops.hpp"
 #include "base/rng.hpp"
 #include "base/timer.hpp"
+#include "dd/engine.hpp"
 #include "dd/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +112,15 @@ class ChebyshevFilteredSolver {
     have_bounds_ = true;
   }
 
+  /// Route the CF step through a threaded multi-rank engine: each column
+  /// block's recurrence then executes concurrently on the engine's slab
+  /// lanes with real (sync or async) halo exchange instead of the
+  /// single-image apply. The engine must wrap the same Hamiltonian
+  /// discretization (mesh, degree, k-point) and have the same potential set;
+  /// pass nullptr to detach. Not owned.
+  void set_engine(dd::SlabEngine<T>* engine) { engine_ = engine; }
+  dd::SlabEngine<T>* engine() const { return engine_; }
+
   /// Chebyshev polynomial filtering of the current subspace in column blocks
   /// of B_f (the CF step). Public so equivalence tests and benches can drive
   /// it standalone; cycle() remains the normal entry point.
@@ -133,6 +143,18 @@ class ChebyshevFilteredSolver {
     for (index_t j0 = 0; j0 < N; j0 += Bf) {
       Timer block_timer;
       const index_t nb = std::min(Bf, N - j0);
+      if (engine_ != nullptr) {
+        // Threaded multi-rank CF: the engine runs the identical recurrence
+        // per slab lane with real halo exchange; comm here is the *modeled*
+        // interconnect time of the exchanged packets (the measured wall time
+        // is the block timer — overlap shows up as their gap).
+        engine_->filter_block(X_, j0, nb, opt_.cheb_degree, a_, b_, a0_);
+        double comm = 0.0;
+        for (const auto& st : engine_->last_step_stats()) comm += st.modeled;
+        // lint: allow(hot-path-alloc): clear() retains capacity, appends stop allocating after the first filter()
+        cf_timings_.push_back({block_timer.seconds(), comm});
+        continue;
+      }
       Xb->reshape(n, nb);
       for (index_t j = 0; j < nb; ++j)
         std::copy(X_.col(j0 + j), X_.col(j0 + j) + n, Xb->col(j));
@@ -253,6 +275,7 @@ class ChebyshevFilteredSolver {
   }
 
   const Hamiltonian<T>* H_;
+  dd::SlabEngine<T>* engine_ = nullptr;
   ChfesOptions opt_;
   la::Matrix<T> X_;
   std::vector<double> evals_;

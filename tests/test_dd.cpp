@@ -65,6 +65,49 @@ TEST(SlabPartition, PlaneRangesAreContiguous) {
   EXPECT_EQ(part.plane_size(), dofh.naxis(0) * dofh.naxis(1));
 }
 
+TEST(SlabPartitionCellAligned, SlabsLandOnCellLayerBoundaries) {
+  for (const bool periodic : {false, true}) {
+    const auto mesh = fe::make_uniform_mesh(4.0, 5, periodic);
+    const fe::DofHandler dofh(mesh, 3);
+    for (const int nranks : {1, 2, 3, 5}) {
+      const auto part = SlabPartition::cell_aligned(dofh, nranks);
+      ASSERT_EQ(part.nranks(), nranks);
+      EXPECT_TRUE(part.cell_aligned_slabs());
+      // Cell layers [c_begin, c_end) tile [0, ncz) in order; the dof plane
+      // range is the cell range scaled by the element degree, with the last
+      // rank of a non-periodic axis owning the closing plane.
+      index_t c = 0, z = 0;
+      for (int r = 0; r < part.nranks(); ++r) {
+        const Slab& s = part.slab(r);
+        EXPECT_EQ(s.c_begin, c);
+        EXPECT_GT(s.c_end, s.c_begin);
+        EXPECT_EQ(s.z_begin, z);
+        EXPECT_EQ(s.z_begin, s.c_begin * dofh.degree());
+        const index_t z_expect = (r == part.nranks() - 1) ? part.nplanes()
+                                                          : s.c_end * dofh.degree();
+        EXPECT_EQ(s.z_end, z_expect);
+        c = s.c_end;
+        z = s.z_end;
+      }
+      EXPECT_EQ(c, mesh.ncells(2));
+      EXPECT_EQ(z, part.nplanes());
+      const std::size_t expect_ifaces =
+          static_cast<std::size_t>(nranks - 1) + ((periodic && nranks > 1) ? 1 : 0);
+      EXPECT_EQ(part.interface_planes().size(), expect_ifaces);
+    }
+  }
+}
+
+TEST(SlabPartitionCellAligned, RanksClampToCellLayers) {
+  const auto mesh = fe::make_uniform_mesh(4.0, 3, false);
+  const fe::DofHandler dofh(mesh, 4);
+  const auto part = SlabPartition::cell_aligned(dofh, 8);
+  EXPECT_EQ(part.nranks(), 3);  // at most one lane per z cell layer
+  for (int r = 0; r < part.nranks(); ++r)
+    EXPECT_EQ(part.slab(r).c_end - part.slab(r).c_begin, 1);
+  EXPECT_EQ(part.slab(2).z_end, part.nplanes());
+}
+
 TEST(BoundaryExchange, Fp64WireIsLossless) {
   const auto mesh = test_mesh(false);
   fe::DofHandler dofh(mesh, 3);

@@ -24,7 +24,9 @@
 
 #include "base/flops.hpp"
 #include "base/timer.hpp"
+#include "dd/engine.hpp"
 #include "dd/exchange.hpp"
+#include "dd/mailbox.hpp"
 #include "dd/partition.hpp"
 #include "fe/dofs.hpp"
 #include "fe/mesh.hpp"
@@ -325,6 +327,138 @@ TEST(RaceKernels, ConcurrentHaloExchangesAreIndependent) {
     }
     EXPECT_EQ(ex.stats().bytes, 50 * exref.stats().bytes);
     EXPECT_EQ(ex.stats().messages, 50 * exref.stats().messages);
+  });
+}
+
+TEST(RaceEngine, MailboxHandoffUnderContention) {
+  // Direct SPSC stress of the double-buffered halo mailbox: one producer
+  // and one consumer push far more packets than slots, verifying FIFO order
+  // and payload integrity under full-queue / empty-queue contention.
+  dd::HaloChannel<double> ch;
+  constexpr index_t kCount = 64;
+  constexpr int kPackets = 2000;
+  ch.init(dd::Wire::fp64, kCount);
+  std::thread producer([&] {
+    for (int i = 0; i < kPackets; ++i) {
+      const int s = ch.begin_post();
+      double* w = ch.buf64(s);
+      for (index_t e = 0; e < kCount; ++e) w[e] = i + 0.25 * e;
+      ch.finish_post(s, dd::HaloChannel<double>::Clock::now());
+    }
+  });
+  for (int i = 0; i < kPackets; ++i) {
+    const int s = ch.wait_packet();
+    const double* w = ch.cbuf64(s);
+    for (index_t e = 0; e < kCount; ++e)
+      ASSERT_EQ(w[e], i + 0.25 * e) << "packet " << i << " corrupted or reordered";
+    ch.release(s);
+  }
+  producer.join();
+}
+
+TEST(RaceEngine, MailboxCloseWakesBlockedPeers) {
+  // A receiver blocked on an empty channel and a sender blocked on a full
+  // one must both wake and throw when the channel is poisoned, instead of
+  // deadlocking on a dead peer.
+  dd::HaloChannel<double> ch;
+  ch.init(dd::Wire::fp64, 8);
+  std::atomic<int> throws{0};
+  std::thread receiver([&] {
+    try {
+      (void)ch.wait_packet();
+    } catch (const std::runtime_error&) {
+      throws.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Fill both slots so the next begin_post blocks.
+  for (int i = 0; i < 2; ++i) {
+    // The receiver may consume packets as we post them; that is fine — the
+    // close below must unblock whichever side ends up waiting.
+    const int s = ch.begin_post();
+    ch.finish_post(s, dd::HaloChannel<double>::Clock::now());
+  }
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.close();
+  });
+  try {
+    while (true) {
+      const int s = ch.begin_post();
+      ch.finish_post(s, dd::HaloChannel<double>::Clock::now());
+    }
+  } catch (const std::runtime_error&) {
+    throws.fetch_add(1, std::memory_order_relaxed);
+  }
+  closer.join();
+  receiver.join();
+  EXPECT_GE(throws.load(), 1);
+  // reset() restores a usable channel after the failure drained.
+  ch.reset();
+  const int s = ch.begin_post();
+  ch.finish_post(s, dd::HaloChannel<double>::Clock::now());
+  EXPECT_EQ(ch.wait_packet(), s);
+  ch.release(s);
+}
+
+TEST(RaceEngine, ConcurrentLaneStartupShutdown) {
+  // Engine lifecycles under contention: several threads repeatedly build a
+  // multi-lane engine (spawning its lane threads), optionally run a job,
+  // and tear it down, racing lane startup against job submission and the
+  // stop broadcast. Results must match the undecomposed reference exactly
+  // as in the single-threaded tests.
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  std::vector<double> v(dofh.ndofs());
+  for (index_t i = 0; i < dofh.ndofs(); ++i) v[i] = -0.3 * std::cos(0.11 * i);
+  la::Matrix<double> X(dofh.ndofs(), 3);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.29 * i);
+  ks::Hamiltonian<double> href(dofh);
+  href.set_potential(v);
+  la::Matrix<double> Yref;
+  href.apply(X, Yref);
+
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < 6; ++i) {
+      dd::EngineOptions opt;
+      opt.nlanes = 2 + (i + t) % 3;
+      opt.mode = (i % 2 == 0) ? dd::EngineMode::async : dd::EngineMode::sync;
+      dd::SlabEngine<double> eng(dofh, opt);
+      if (i % 3 == 2) continue;  // startup immediately followed by shutdown
+      eng.set_potential(v);
+      la::Matrix<double> Y;
+      eng.apply(X, Y);
+      ASSERT_LT(la::max_abs_diff(Y, Yref), 1e-12);
+    }
+  });
+}
+
+TEST(RaceEngine, LaneFaultPropagationUnderContention) {
+  // Each thread owns an engine and alternates injected lane faults with
+  // real jobs: the fault must surface on the submitting thread as an
+  // exception every time, and the poisoned mailboxes must come back clean
+  // for the next job, under whatever scheduling contention the other
+  // engines generate.
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  std::vector<double> v(dofh.ndofs(), -0.5);
+  la::Matrix<double> X(dofh.ndofs(), 2);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::cos(0.17 * i);
+  ks::Hamiltonian<double> href(dofh);
+  href.set_potential(v);
+  la::Matrix<double> Yref;
+  href.apply(X, Yref);
+
+  run_threads(kThreads, [&](int t) {
+    dd::EngineOptions opt;
+    opt.nlanes = 4;
+    dd::SlabEngine<double> eng(dofh, opt);
+    eng.set_potential(v);
+    la::Matrix<double> Y;
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_THROW(eng.debug_fault((i + t) % opt.nlanes), std::runtime_error);
+      eng.apply(X, Y);
+      ASSERT_LT(la::max_abs_diff(Y, Yref), 1e-12);
+    }
   });
 }
 

@@ -8,7 +8,8 @@ Rules (see DESIGN.md "Correctness & analysis tier"):
 
   hot-path-alloc   No naked heap growth (new, malloc, vector resize/push_back/
                    reserve/emplace_back, make_unique/make_shared) inside the
-                   designated hot-path translation units of src/la and src/ks.
+                   designated hot-path translation units of src/la, src/ks,
+                   and the threaded rank engine's lane-side code in src/dd.
                    Scratch must go through la/workspace.hpp (WorkMatrix,
                    Workspace<T> leases, ensure_scratch) so the zero-allocation
                    steady-state invariant stays testable. The workspace layer
@@ -64,6 +65,12 @@ HOT_PATH_FILES = [
     "src/la/iterative.hpp",
     "src/ks/hamiltonian.hpp",
     "src/ks/chfes.hpp",
+    # Threaded rank engine: everything a lane touches after startup (the
+    # per-step filter/apply path and the mailbox transport) must be
+    # allocation-free; cold sizing lives in dd/engine.cpp, which is
+    # deliberately not listed here.
+    "src/dd/engine.hpp",
+    "src/dd/mailbox.hpp",
 ]
 
 ALLOC_PATTERNS = [
@@ -91,6 +98,8 @@ TRACE_VOCAB = {
     # registered higher-level phases
     "SCF", "SCF-iter", "ChFES-cycle", "Relax-step",
     "invDFT-forward", "invDFT-adjoint", "Simulation-run",
+    # threaded rank engine (dd/engine.hpp) lane-side spans
+    "CF-lane", "CF-halo", "Engine-apply",
 }
 
 TRACE_SPAN_RE = re.compile(r"\bTraceSpan\b[^(;]*\(\s*\"([^\"]*)\"")

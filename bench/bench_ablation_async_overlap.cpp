@@ -134,14 +134,6 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("measured async speedup: %.2fx (acceptance gate: >= 1.15x)\n\n", speedup);
 
-  auto& m = obs::MetricsRegistry::global();
-  m.gauge_set("ablation_async.lanes", lanes);
-  m.gauge_set("ablation_async.sync_wall_s", sync.wall);
-  m.gauge_set("ablation_async.async_wall_s", async.wall);
-  m.gauge_set("ablation_async.speedup", speedup);
-  m.gauge_set("ablation_async.injected_delay_s", delay);
-  m.gauge_set("ablation_async.modeled_comm_s", sync.modeled);
-
   // ---- Section 2: pipeline-simulator sweep over filter block sizes ----
   if (!quick) {
     const fe::Mesh smesh = fe::make_uniform_mesh(12.0, 3, true);
@@ -181,8 +173,12 @@ int main(int argc, char** argv) {
                 "why the paper pipelines the filter over wavefunction blocks.\n");
   }
 
-  bench::write_bench_artifact("BENCH_ablation_async_overlap.json");
-  ProfileRegistry::global().clear();
-  FlopCounter::global().clear();
+  bench::emit_bench_artifact("ablation_async_overlap", "ablation_async",
+                             {{"lanes", static_cast<double>(lanes)},
+                              {"sync_wall_s", sync.wall},
+                              {"async_wall_s", async.wall},
+                              {"speedup", speedup},
+                              {"injected_delay_s", delay},
+                              {"modeled_comm_s", sync.modeled}});
   return 0;
 }

@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "base/flops.hpp"
 #include "base/table.hpp"
@@ -96,6 +98,22 @@ inline void write_bench_artifact(const std::string& path) {
     std::printf("bench artifact: %s\n", path.c_str());
   else
     std::printf("bench artifact: FAILED to write %s\n", path.c_str());
+}
+
+/// The standard bench epilogue, shared by every artifact-producing bench:
+/// publish the headline gauges as `<prefix>.<key>` (the names
+/// tools/check_bench_regression.py compares against bench/baselines/), write
+/// `BENCH_<name>.json`, then clear the global profile/FLOP registries so
+/// state never leaks into a subsequent bench run in the same process
+/// (ctest smoke runs, scripts that chain benches).
+inline void emit_bench_artifact(const std::string& name, const std::string& prefix = "",
+                                const std::vector<std::pair<std::string, double>>& gauges = {}) {
+  auto& m = obs::MetricsRegistry::global();
+  for (const auto& [key, value] : gauges)
+    m.gauge_set(prefix.empty() ? key : prefix + "." + key, value);
+  write_bench_artifact("BENCH_" + name + ".json");
+  ProfileRegistry::global().clear();
+  FlopCounter::global().clear();
 }
 
 }  // namespace dftfe::bench

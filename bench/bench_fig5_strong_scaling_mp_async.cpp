@@ -120,6 +120,7 @@ int main() {
               "36%% (baseline) -> 54%% (mixed precision + async). Shape target: the\n"
               "mp+async column stays faster and decays slower with rank count.\n\n");
 
+  std::vector<std::pair<std::string, double>> measured;
   // ---- Measured strong scaling on the threaded rank engine ----
   // The modeled study above plays Summit-scale schedules on paper; this
   // section runs the real thing at this machine's scale: the same Chebyshev
@@ -158,10 +159,10 @@ int main() {
       if (lanes == 1) wall1 = wall;
       et.add(lanes, TextTable::num(wall, 4), TextTable::num(wall1 / wall, 2),
              TextTable::num(100.0 * wall1 / (wall * lanes), 1) + "%");
+      measured.emplace_back("measured.lanes" + std::to_string(lanes) + ".wall_s", wall);
     }
     et.print();
   }
-  ProfileRegistry::global().clear();
-  FlopCounter::global().clear();
+  bench::emit_bench_artifact("fig5_strong_scaling", "fig5", measured);
   return 0;
 }

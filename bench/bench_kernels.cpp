@@ -139,6 +139,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   MetricsReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  bench::write_bench_artifact("BENCH_kernels.json");
+  bench::emit_bench_artifact("kernels");
   return 0;
 }

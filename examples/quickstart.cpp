@@ -6,6 +6,8 @@
 // attribution. Runs in a few seconds on one core.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "base/table.hpp"
 #include "core/simulation.hpp"
@@ -29,7 +31,22 @@ int main() {
   opt.scf.verbose = true;
   opt.scf.temperature = 5e-3;
 
+  // Execution-backend selection from the environment, so the same binary
+  // serves the CI engine-scf-equivalence leg: DFTFE_BACKEND=threaded runs
+  // the whole solver stack on slab-rank lanes (DFTFE_NLANES picks the lane
+  // count); anything else keeps the serial backend.
+  if (const char* be = std::getenv("DFTFE_BACKEND"); be != nullptr &&
+                                                     std::strcmp(be, "threaded") == 0) {
+    opt.backend.kind = dd::BackendKind::threaded;
+    if (const char* nl = std::getenv("DFTFE_NLANES")) opt.backend.nlanes = std::atoi(nl);
+  }
+
   std::printf("== DFT-FE-MLXC quickstart: Mg2 dimer, LDA ==\n");
+  std::printf("backend: %s",
+              opt.backend.kind == dd::BackendKind::threaded ? "threaded" : "serial");
+  if (opt.backend.kind == dd::BackendKind::threaded)
+    std::printf(" (%d lanes)", opt.backend.nlanes);
+  std::printf("\n");
   core::Simulation sim(std::move(st), opt);
   std::printf("atoms: %lld   electrons: %.0f   FE dofs: %lld (degree %d)\n",
               static_cast<long long>(sim.structure().natoms()), sim.n_electrons(),
@@ -48,6 +65,10 @@ int main() {
   t.add("XC energy (Ha)", TextTable::num(res.scf.energy.xc, 6));
   t.add("Fermi level (Ha)", TextTable::num(res.scf.energy.fermi_level, 6));
   t.print();
+
+  // Machine-greppable line for the CI engine-scf-equivalence leg, which
+  // runs this binary once per backend and diffs the two energies to 1e-10.
+  std::printf("SCF_TOTAL_ENERGY_HA %.12e\n", res.energy);
 
   std::printf("lowest Kohn-Sham eigenvalues (Ha):");
   const auto& ev = sim.gamma_solver().eigenvalues(0);

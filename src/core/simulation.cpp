@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "xc/lda.hpp"
@@ -96,6 +98,7 @@ Simulation::Simulation(atoms::Structure st, SimulationOptions opt)
 SimulationResult Simulation::run() {
   obs::TraceSpan span("Simulation-run", "core");
   auto xcf = make_functional(opt_.functional, opt_.mlxc_weights);
+  opt_.scf.backend = opt_.backend;
   SimulationResult res;
   res.natoms = structure_.natoms();
   res.ndofs = dofh_->ndofs();
@@ -104,6 +107,11 @@ SimulationResult Simulation::run() {
   metrics.gauge_set("sim.natoms", static_cast<double>(res.natoms));
   metrics.gauge_set("sim.ndofs", static_cast<double>(res.ndofs));
   metrics.gauge_set("sim.n_electrons", res.n_electrons);
+  const bool threaded = opt_.backend.kind == dd::BackendKind::threaded;
+  metrics.gauge_set("sim.backend.threaded", threaded ? 1.0 : 0.0);
+  metrics.gauge_set("sim.backend.nlanes", threaded ? opt_.backend.nlanes : 1.0);
+  DFTFE_LOG(info) << "[sim] backend " << (threaded ? "threaded" : "serial")
+                  << (threaded ? " nlanes " + std::to_string(opt_.backend.nlanes) : "");
 
   const bool gamma_only =
       opt_.kpoints.empty() ||

@@ -37,6 +37,11 @@ struct SimulationOptions {
   /// Valence-charge overrides per species (the examples scale the heavy
   /// Yb/Cd valences down to laptop-runnable electron counts; see DESIGN.md).
   std::map<atoms::Species, double> z_override;
+  /// Execution backend for the whole solver stack (eigensolver stages,
+  /// density accumulation, Poisson stiffness applies): serial single-image
+  /// or threaded slab-rank lanes. Copied into scf.backend by run(); set
+  /// scf.backend directly only to diverge from this top-level choice.
+  dd::BackendOptions backend;
   ks::ScfOptions scf;
 };
 

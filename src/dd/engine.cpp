@@ -71,11 +71,16 @@ void SlabEngine<T>::build_lanes() {
     Lane& ln = *lanes_[r];
     const Slab& sl = part_.slab(r);
     const index_t nc = sl.c_end - sl.c_begin;
+    ln.rank = r;
     ln.lower.active = (r > 0) || zper;
     ln.upper.active = (r < R - 1) || zper;
     ln.nplanes_loc = nc * deg + 1;
     ln.nloc = ln.nplanes_loc * plane_size_;
     ln.own_plane_end = ln.nplanes_loc - (ln.upper.active ? 1 : 0);
+    // Owned rows are globally contiguous starting at the slab's first plane
+    // (only a wrap lane's excluded top ghost maps non-contiguously), which is
+    // what lets gram/density jobs span the global buffers without a gather.
+    ln.grow0 = sl.z_begin * plane_size_;
 
     // Local plane -> global plane; only the wrap lane's top ghost plane maps
     // non-contiguously (to global plane 0).
@@ -206,7 +211,7 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
     throw std::runtime_error("dd::SlabEngine: injected lane fault");
   switch (job.kind) {
     case JobKind::apply: {
-      obs::TraceSpan span("Engine-apply", "dd");
+      obs::TraceSpan span("Engine-apply", "dd", ln.rank);
       const index_t B = job.X->cols();
       la::Matrix<T>& Xl = ln.xb.acquire(ln.nloc, B);
       gather_block(ln, *job.X, 0, B, Xl);
@@ -218,6 +223,12 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
     case JobKind::filter:
       lane_filter(ln, *job.Xf, job.col0, job.ncols, job.degree, job.a, job.b, job.a0,
                   job.mode);
+      break;
+    case JobKind::gram:
+      lane_gram(ln, job);
+      break;
+    case JobKind::density:
+      lane_density(ln, job);
       break;
     case JobKind::pulse: {
       // Minimal halo round: every lane posts to and receives from each
@@ -235,15 +246,40 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
 }
 
 template <class T>
+const char* SlabEngine<T>::job_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::apply: return "apply";
+    case JobKind::filter: return "filter";
+    case JobKind::gram: return "gram";
+    case JobKind::density: return "density";
+    case JobKind::pulse: return "pulse";
+    case JobKind::stop: return "stop";
+    default: return "none";
+  }
+}
+
+template <class T>
 void SlabEngine<T>::submit(Job job) {
   job.mode = opt_.mode;
   std::unique_lock<std::mutex> lk(mu_);
+  if (job_active_) {
+    // A second submit while a job is in flight would overwrite job_ and
+    // done_count_ under the lanes, turning into a silent mailbox deadlock.
+    // Fail loudly instead, naming both jobs; the in-flight job is untouched.
+    throw std::logic_error(std::string("dd::SlabEngine::submit: job '") +
+                           job_name(job.kind) + "' submitted while job '" +
+                           job_name(job_.kind) +
+                           "' is in flight (public entry points must be called "
+                           "from one driver thread at a time)");
+  }
+  job_active_ = true;
   job_ = job;
   done_count_ = 0;
   first_error_ = nullptr;
   ++job_seq_;
   cv_job_.notify_all();
   cv_done_.wait(lk, [&] { return done_count_ == static_cast<int>(lanes_.size()); });
+  job_active_ = false;
   if (first_error_) {
     std::exception_ptr e = first_error_;
     first_error_ = nullptr;
@@ -329,6 +365,58 @@ void SlabEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
   j.a0 = a0;
   submit(j);
   collect_step_stats(degree);
+}
+
+template <class T>
+void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
+                            la::Matrix<T>& S, index_t mp_block, bool mixed) {
+  if (A.rows() != dofh_->ndofs() || B.rows() != dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::overlap: row count mismatch");
+  if (A.cols() != B.cols())
+    throw std::invalid_argument("SlabEngine::overlap: column count mismatch");
+  ensure_step_storage(1);
+  Job j;
+  j.kind = JobKind::gram;
+  j.X = &A;
+  j.B2 = &B;
+  j.mp_block = mp_block;
+  j.mixed = mixed;
+  submit(j);
+  collect_step_stats(1);
+  // Deterministic-order reduction of the slab partials (lane 0..R-1, exactly
+  // the ordered allreduce a reproducible distributed run pins down), then one
+  // Hermitian completion over the summed upper block triangle.
+  const index_t N = A.cols();
+  S.reshape(N, N);
+  S.zero();
+  for (auto& lp : lanes_) {
+    const la::Matrix<T>& G = lp->gram.get();
+    T* s = S.data();
+    const T* g = G.data();
+    for (index_t i = 0; i < N * N; ++i) s[i] += g[i];
+  }
+  la::overlap_hermitian_complete(S, mp_block);
+}
+
+template <class T>
+void SlabEngine<T>::accumulate_density(const la::Matrix<T>& X,
+                                       const std::vector<double>& occ, double weight,
+                                       std::vector<double>& rho) {
+  if (X.rows() != dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::accumulate_density: row count mismatch");
+  if (static_cast<index_t>(occ.size()) < X.cols())
+    throw std::invalid_argument("SlabEngine::accumulate_density: occupations too short");
+  if (static_cast<index_t>(rho.size()) != dofh_->ndofs())
+    throw std::invalid_argument("SlabEngine::accumulate_density: rho size mismatch");
+  ensure_step_storage(1);
+  Job j;
+  j.kind = JobKind::density;
+  j.X = &X;
+  j.occ = &occ;
+  j.weight = weight;
+  j.rho = &rho;
+  submit(j);
+  collect_step_stats(1);
 }
 
 template <class T>

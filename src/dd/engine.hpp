@@ -69,6 +69,7 @@
 #include "fe/mesh.hpp"
 #include "la/matrix.hpp"
 #include "la/mixed.hpp"
+#include "la/view.hpp"
 #include "la/workspace.hpp"
 #include "obs/trace.hpp"
 
@@ -126,6 +127,21 @@ class SlabEngine {
   void filter_block(la::Matrix<T>& X, index_t col0, index_t ncols, int degree,
                     double a, double b, double a0);
 
+  /// Hermitian overlap S = A^H B distributed over lanes: each lane evaluates
+  /// the upper block triangle of its owned-row span (the slab-local partial
+  /// Gram matrix, FP32 off-diagonal when `mixed`), the driver sums the
+  /// partials in lane order — matching the deterministic-order allreduce of
+  /// a real distributed run — and applies the Hermitian completion once.
+  void overlap(const la::Matrix<T>& A, const la::Matrix<T>& B, la::Matrix<T>& S,
+               index_t mp_block, bool mixed);
+
+  /// rho[i] += weight * sum_j occ[j] |X(i,j)|^2 / mass[i], distributed over
+  /// lanes: each lane accumulates exactly the rows of the global density
+  /// vector its slab owns (disjoint ranges — no reduction needed beyond the
+  /// shared-memory gather), reproducing the serial DC row arithmetic bitwise.
+  void accumulate_density(const la::Matrix<T>& X, const std::vector<double>& occ,
+                          double weight, std::vector<double>& rho);
+
   /// Aggregated wire traffic over all lanes since construction /
   /// clear_comm_stats(). Call between jobs.
   CommStats comm_stats() const;
@@ -140,13 +156,19 @@ class SlabEngine {
   void debug_fault(int lane);
 
  private:
-  enum class JobKind { none, apply, filter, pulse, stop };
+  enum class JobKind { none, apply, filter, gram, density, pulse, stop };
   struct Job {
     JobKind kind = JobKind::none;
     EngineMode mode = EngineMode::sync;
-    const la::Matrix<T>* X = nullptr;  // apply input
+    const la::Matrix<T>* X = nullptr;  // apply / gram / density input
     la::Matrix<T>* Y = nullptr;        // apply output
     la::Matrix<T>* Xf = nullptr;       // filter in/out
+    const la::Matrix<T>* B2 = nullptr;           // gram second factor
+    index_t mp_block = 64;                       // gram mixed-precision tile
+    bool mixed = false;                          // gram FP32 off-diagonal
+    const std::vector<double>* occ = nullptr;    // density occupations
+    double weight = 1.0;                         // density k-point weight
+    std::vector<double>* rho = nullptr;          // density accumulator
     index_t col0 = 0, ncols = 0;
     int degree = 0;
     double a = 0.0, b = 0.0, a0 = 0.0;
@@ -167,14 +189,17 @@ class SlabEngine {
     bool active = false;
   };
   struct Lane {
+    int rank = 0;                      // slab rank (= lane index, trace dim)
     index_t nloc = 0;                  // local rows = nplanes_loc * plane_size
     index_t nplanes_loc = 0;
     index_t own_plane_end = 0;         // local planes [0, own_plane_end) are owned
+    index_t grow0 = 0;                 // first owned *global* row (contiguous range)
     std::vector<index_t> gplane;       // local plane -> global plane (wrap-aware)
     std::vector<double> ims, veff, bmask;  // slices of the global nodal fields
     std::vector<Segment> segments;     // bottom boundary, top boundary, interior
     Neighbor lower, upper;
     la::WorkMatrix<T> sl, xb, yb, zb;  // scaled input + recurrence blocks
+    la::WorkMatrix<T> gram;            // slab-local partial Gram block (N x N)
     std::vector<EngineStepStats> steps;
     CommStats comm;
     std::thread th;
@@ -186,6 +211,7 @@ class SlabEngine {
   void lane_main(int r);
   void run_job(int r, const Job& job);
   void submit(Job job);
+  static const char* job_name(JobKind kind);
   void ensure_wire_capacity(index_t ncols);
   void ensure_step_storage(int nsteps);
   void collect_step_stats(int nsteps);
@@ -231,7 +257,7 @@ class SlabEngine {
   /// time); unpack cost goes to pack_seconds.
   double recv_halo(Lane& ln, Neighbor& nb, la::Matrix<T>& Yl, index_t row0) {
     if (!nb.active) return 0.0;
-    obs::TraceSpan span("CF-halo", "dd");
+    obs::TraceSpan span("CF-halo", "dd", ln.rank);
     Timer tw;
     const index_t P = plane_size_, B = Yl.cols();
     const int s = nb.recv->wait_packet();
@@ -401,7 +427,7 @@ class SlabEngine {
   /// shift-scale-subtract update fused into each step's epilogue.
   void lane_filter(Lane& ln, la::Matrix<T>& X, index_t col0, index_t ncols, int degree,
                    double a, double b, double a0, EngineMode mode) {
-    obs::TraceSpan span("CF-lane", "dd");
+    obs::TraceSpan span("CF-lane", "dd", ln.rank);
     const index_t nloc = ln.nloc;
     la::Matrix<T>* Xb = &ln.xb.acquire(nloc, ncols);
     la::Matrix<T>* Yb = &ln.yb.acquire(nloc, ncols);
@@ -423,6 +449,60 @@ class SlabEngine {
     scatter_owned(ln, *Yb, X, col0, ncols);
   }
 
+  /// Slab-local partial Gram block: the upper block triangle of
+  /// A_r^H B_r over this lane's owned rows, written into the lane's
+  /// persistent gram buffer. The inputs are spans over the *global* blocks
+  /// (owned rows are globally contiguous), so no gather copy is needed; the
+  /// FP32 off-diagonal policy matches the undecomposed overlap. The modeled
+  /// interconnect cost of the subsequent partial-sum allreduce is accounted
+  /// per lane (stats only — the actual reduction is the driver's
+  /// deterministic in-order sum in shared memory).
+  void lane_gram(Lane& ln, const Job& job) {
+    obs::TraceSpan span("Gram-lane", "dd", ln.rank);
+    Timer tstep;
+    const index_t N = job.X->cols();
+    const index_t nrows = ln.own_plane_end * plane_size_;
+    la::Matrix<T>& S = ln.gram.acquire_zeroed(N, N);
+    la::overlap_hermitian_partial(la::cspan(*job.X).rows_range(ln.grow0, nrows),
+                                  la::cspan(*job.B2).rows_range(ln.grow0, nrows), S,
+                                  job.mp_block, job.mixed);
+    const std::int64_t bytes = static_cast<std::int64_t>(N) * N * sizeof(T);
+    ln.comm.bytes += bytes;
+    ln.comm.messages += 1;
+    ln.comm.modeled_seconds +=
+        opt_.model.allreduce_time(bytes, static_cast<int>(lanes_.size()));
+    EngineStepStats& st = ln.steps[0];
+    st.wait = 0.0;
+    st.compute = tstep.seconds();
+    st.modeled = opt_.model.allreduce_time(bytes, static_cast<int>(lanes_.size()));
+  }
+
+  /// Slab-local density accumulation: rho[g] += weight * sum_j occ_j
+  /// |X(g,j)|^2 / mass[g] over this lane's owned (disjoint, globally
+  /// contiguous) rows — per-row arithmetic identical to the serial DC loop,
+  /// so the threaded density is bitwise equal given the same subspace. The
+  /// halo-reduced quadrature sums (density normalization / residual norms)
+  /// stay driver-side: they read the fully assembled rho.
+  void lane_density(Lane& ln, const Job& job) {
+    obs::TraceSpan span("DC-lane", "dd", ln.rank);
+    Timer tstep;
+    const index_t nrows = ln.own_plane_end * plane_size_;
+    const la::ConstSpan2D<T> X = la::cspan(*job.X).rows_range(ln.grow0, nrows);
+    const std::vector<double>& f = *job.occ;
+    const double* mass = dofh_->mass().data() + ln.grow0;
+    double* rho = job.rho->data() + ln.grow0;
+    for (index_t i = 0; i < nrows; ++i) {
+      double s = 0.0;
+      for (index_t j = 0; j < X.cols; ++j)
+        if (f[j] > 1e-12) s += f[j] * scalar_traits<T>::abs2(X(i, j));
+      rho[i] += job.weight * s / mass[i];
+    }
+    EngineStepStats& st = ln.steps[0];
+    st.wait = 0.0;
+    st.compute = tstep.seconds();
+    st.modeled = 0.0;
+  }
+
   const fe::DofHandler* dofh_;
   EngineOptions opt_;
   SlabPartition part_;
@@ -434,12 +514,16 @@ class SlabEngine {
   // Job broadcast protocol: the driver publishes a Job under mu_ and bumps
   // job_seq_; parked lanes copy it and run; the driver sleeps on cv_done_
   // until every lane checked in (lane writes to their Lane state are
-  // published to the driver by that same mutex).
+  // published to the driver by that same mutex). job_active_ guards against
+  // a second submit while a job is in flight: overwriting job_/done_count_
+  // mid-job would silently deadlock the mailboxes, so it is a hard
+  // diagnostic error instead (named after both jobs).
   std::mutex mu_;
   std::condition_variable cv_job_, cv_done_;
   Job job_;
   std::uint64_t job_seq_ = 0;
   int done_count_ = 0;
+  bool job_active_ = false;
   std::exception_ptr first_error_;
 };
 

@@ -35,8 +35,7 @@ la::SolveReport PoissonSolver::solve(const std::vector<double>& rho, std::vector
     for (index_t i = 0; i < n; ++i) rhs[i] = 4.0 * kPi * mass[i] * (rho[i] - mean);
 
     auto op = [&](const std::vector<double>& x, std::vector<double>& y) {
-      y.assign(n, 0.0);
-      K_.apply_add(x, y);
+      apply_stiffness(x, y);
     };
     auto prec = [&](const std::vector<double>& r, std::vector<double>& z) {
       z.resize(n);
@@ -72,8 +71,8 @@ la::SolveReport PoissonSolver::solve(const std::vector<double>& rho, std::vector
     g[b] = q / std::max(r, 1e-6);
   }
   // rhs = 4 pi M rho - K g on the interior; boundary handled by masking.
-  std::vector<double> Kg(n, 0.0);
-  K_.apply_add(g, Kg);
+  std::vector<double> Kg;
+  apply_stiffness(g, Kg);
 #pragma omp parallel for
   for (index_t i = 0; i < n; ++i)
     rhs[i] = (bmask[i] != 0.0) ? 0.0 : 4.0 * kPi * mass[i] * rho[i] - Kg[i];
@@ -85,8 +84,7 @@ la::SolveReport PoissonSolver::solve(const std::vector<double>& rho, std::vector
   auto op = [&](const std::vector<double>& x, std::vector<double>& y) {
     std::copy(x.begin(), x.begin() + n, xm.begin());
     for (const index_t b : dofh_->boundary_dofs()) xm[b] = 0.0;
-    y.assign(n, 0.0);
-    K_.apply_add(xm, y);
+    apply_stiffness(xm, y);
     for (const index_t b : dofh_->boundary_dofs()) y[b] = 0.0;
   };
   auto prec = [&](const std::vector<double>& r, std::vector<double>& z) {

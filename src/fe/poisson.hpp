@@ -6,6 +6,7 @@
 // the charge on the outer boundary. Jacobi-preconditioned CG on the
 // cell-level stiffness operator.
 
+#include <functional>
 #include <vector>
 
 #include "fe/cell_ops.hpp"
@@ -26,10 +27,32 @@ class PoissonSolver {
   bool periodic() const { return periodic_; }
   const CellStiffness<double>& stiffness() const { return K_; }
 
+  /// Route the stiffness apply (y = K x, full overwrite) through an external
+  /// executor — a dd::ExecBackend wrapping this solver's stiffness() — so the
+  /// EP step's PCG operator runs under the same execution model as the rest
+  /// of the SCF. Dirichlet masking stays on the caller side of the hook
+  /// (applied to the hook's input/output here), so the hook is a bare
+  /// operator apply. Empty function restores the built-in serial apply.
+  void set_stiffness_apply(
+      std::function<void(const std::vector<double>&, std::vector<double>&)> fn) {
+    kapply_ = std::move(fn);
+  }
+
  private:
+  /// y = K x: through the override when installed, else the built-in apply.
+  void apply_stiffness(const std::vector<double>& x, std::vector<double>& y) const {
+    if (kapply_) {
+      kapply_(x, y);
+      return;
+    }
+    y.assign(x.size(), 0.0);
+    K_.apply_add(x, y);
+  }
+
   const DofHandler* dofh_;
   CellStiffness<double> K_;  // coef_lap = 1
   bool periodic_;
+  std::function<void(const std::vector<double>&, std::vector<double>&)> kapply_;
 };
 
 }  // namespace dftfe::fe

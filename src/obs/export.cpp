@@ -1,8 +1,10 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 namespace dftfe::obs {
@@ -77,7 +79,9 @@ std::string chrome_trace_json(const TraceRecorder& rec) {
     os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.category)
        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << json_num(ev.ts_us)
        << ",\"dur\":" << json_num(ev.dur_us) << ",\"args\":{\"id\":" << ev.id
-       << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth << "}}";
+       << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth;
+    if (ev.lane >= 0) os << ",\"lane\":" << ev.lane;
+    os << "}}";
   }
   os << "]}";
   return os.str();
@@ -171,6 +175,34 @@ TextTable step_breakdown_table(double total_wall, double peak_gflops,
     std::vector<std::string> row = {"TOTAL", TextTable::num(total_wall, 3),
                                     TextTable::num(gflop_total, 2), TextTable::num(rate, 2)};
     if (peak_gflops > 0.0) row.push_back(pct(rate));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+TextTable lane_breakdown_table(const TraceRecorder& rec) {
+  const auto events = rec.events();
+  int nlanes = 0;
+  for (const auto& ev : events) nlanes = std::max(nlanes, ev.lane + 1);
+  // Aggregate by (name, lane), keeping first-seen name order for the rows.
+  std::vector<std::string> names;
+  std::map<std::string, std::vector<double>> seconds;
+  for (const auto& ev : events) {
+    if (ev.lane < 0) continue;
+    auto it = seconds.find(ev.name);
+    if (it == seconds.end()) {
+      names.push_back(ev.name);
+      it = seconds.emplace(ev.name, std::vector<double>(nlanes, 0.0)).first;
+    }
+    it->second[static_cast<std::size_t>(ev.lane)] += ev.dur_us * 1e-6;
+  }
+  std::vector<std::string> header = {"span"};
+  for (int r = 0; r < nlanes; ++r) header.push_back("lane " + std::to_string(r) + " (s)");
+  TextTable t(header);
+  for (const auto& name : names) {
+    std::vector<std::string> row = {name};
+    for (int r = 0; r < nlanes; ++r)
+      row.push_back(TextTable::num(seconds[name][static_cast<std::size_t>(r)], 3));
     t.add_row(std::move(row));
   }
   return t;

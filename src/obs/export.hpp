@@ -54,4 +54,11 @@ TextTable step_breakdown_table(double total_wall, double peak_gflops = 0.0,
                                const ProfileRegistry& profile = ProfileRegistry::global(),
                                const FlopCounter& flops = FlopCounter::global());
 
+/// Per-lane breakdown of lane-tagged spans (CF-lane, CF-halo, Gram-lane,
+/// DC-lane, Engine-apply): one row per span name, one wall-time column per
+/// lane — the per-rank view of the Table-3 step breakdown. Built from the
+/// recorder's events, so it needs DFTFE_ENABLE_TRACING=ON (the table is
+/// empty otherwise).
+TextTable lane_breakdown_table(const TraceRecorder& rec = TraceRecorder::global());
+
 }  // namespace dftfe::obs

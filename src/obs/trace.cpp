@@ -92,6 +92,13 @@ TraceSpan::TraceSpan(std::string name, std::string category, TraceRecorder& rec,
   t_.reset();  // exclude the setup above from the measured interval
 }
 
+TraceSpan::TraceSpan(std::string name, std::string category, int lane, TraceRecorder& rec,
+                     ProfileRegistry& reg)
+    : TraceSpan(std::move(name), std::move(category), rec, reg) {
+  lane_ = lane;
+  t_.reset();
+}
+
 TraceSpan::~TraceSpan() { stop(); }
 
 void TraceSpan::stop() {
@@ -110,6 +117,7 @@ void TraceSpan::stop() {
   ev.id = id_;
   ev.parent = parent_;
   ev.depth = depth_;
+  ev.lane = lane_;
   rec_->record(std::move(ev));
 #endif
 }

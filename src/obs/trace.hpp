@@ -43,6 +43,7 @@ struct TraceEvent {
   std::uint64_t id = 0;       // unique span id (> 0)
   std::uint64_t parent = 0;   // enclosing span id on the same thread (0 = root)
   int depth = 0;              // nesting depth (0 = root)
+  int lane = -1;              // slab-rank lane of a multi-rank span (-1 = none)
 };
 
 /// Bounded, mutex-guarded event store. Recording is wait-free in the common
@@ -87,6 +88,13 @@ class TraceSpan {
   explicit TraceSpan(std::string name, std::string category = "step",
                      TraceRecorder& rec = TraceRecorder::global(),
                      ProfileRegistry& reg = ProfileRegistry::global());
+  /// Lane-tagged span: identical to the default constructor, but the
+  /// recorded event carries the slab-rank lane (the per-rank dimension of
+  /// the Table-3 step breakdown). Aggregate ProfileRegistry totals still
+  /// pool over lanes under the span's name.
+  TraceSpan(std::string name, std::string category, int lane,
+            TraceRecorder& rec = TraceRecorder::global(),
+            ProfileRegistry& reg = ProfileRegistry::global());
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -100,6 +108,7 @@ class TraceSpan {
   std::string category_;
   TraceRecorder* rec_;
   ProfileRegistry* reg_;
+  int lane_ = -1;
   bool stopped_ = false;
   Timer t_;
 #if DFTFE_ENABLE_TRACING

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/timer.hpp"
+#include "dd/backend.hpp"
 #include "dd/engine.hpp"
 #include "dd/pipeline.hpp"
 #include "fe/cell_ops.hpp"
@@ -145,12 +146,12 @@ TEST(SlabEngine, FilteredSubspaceMatchesReferenceP3P5) {
       EngineOptions opt;
       opt.nlanes = (degree_fe == 3) ? 4 : 3;
       opt.mode = mode;
-      SlabEngine<double> eng(dofh, opt);
-      eng.set_potential(H.potential());
+      ThreadedBackend<double> be(dofh, opt);
+      be.set_potential(H.potential());
       ks::ChebyshevFilteredSolver<double> sol(H, 12, copt);
       sol.initialize_random(7);
       sol.set_bounds(a, b, a0);
-      sol.set_engine(&eng);
+      sol.set_backend(&be);
       sol.filter();
       EXPECT_LT(max_diff(sol.subspace(), ref.subspace()), 1e-12)
           << "p=" << degree_fe << " mode=" << (mode == EngineMode::sync ? "sync" : "async");
@@ -179,12 +180,12 @@ TEST(SlabEngine, ComplexKpointFilterMatchesReference) {
   EngineOptions opt;
   opt.nlanes = 3;
   opt.kpoint = kpt;
-  SlabEngine<complex_t> eng(dofh, opt);
-  eng.set_potential(H.potential());
+  ThreadedBackend<complex_t> be(dofh, opt);
+  be.set_potential(H.potential());
   ks::ChebyshevFilteredSolver<complex_t> sol(H, 6, copt);
   sol.initialize_random(11);
   sol.set_bounds(a, b, a0);
-  sol.set_engine(&eng);
+  sol.set_backend(&be);
   sol.filter();
   EXPECT_LT(max_diff(sol.subspace(), ref.subspace()), 1e-12);
 }

@@ -13,6 +13,7 @@
 #include "ks/hamiltonian.hpp"
 #include "ks/scf.hpp"
 #include "la/eig.hpp"
+#include "obs/metrics.hpp"
 #include "xc/lda.hpp"
 
 namespace dftfe::ks {
@@ -347,6 +348,109 @@ TEST(Scf, HellmannFeynmanForcesDimer) {
   // by dR each changes E by (dE/dR2x - dE/dR1x) dR = -2 F2x dR.
   const double dEdhalf = (ep - em) / h;
   EXPECT_NEAR(dEdhalf, -2.0 * F[1][0], 0.15 * std::abs(dEdhalf) + 2e-3);
+}
+
+namespace {
+/// Harmonic trap potential centered in an [0, L]^3 box.
+std::vector<double> trap_potential(const fe::DofHandler& dofh, double L) {
+  std::vector<double> v(dofh.ndofs());
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const auto p = dofh.dof_point(g);
+    v[g] = 0.5 * ((p[0] - L / 2) * (p[0] - L / 2) + (p[1] - L / 2) * (p[1] - L / 2) +
+                  (p[2] - L / 2) * (p[2] - L / 2));
+  }
+  return v;
+}
+}  // namespace
+
+TEST(Scf, AndersonHistoryTruncatesAtMaxDepth) {
+  // anderson_depth bounds the mixing history ring: the per-iteration
+  // "scf.anderson_depth" series must climb 0, 1, ... and then saturate at
+  // the configured depth once the ring starts erasing its oldest entry.
+  const double L = 10.0;
+  const fe::Mesh m = fe::make_uniform_mesh(L, 3, false);
+  fe::DofHandler dofh(m, 3);
+  ScfOptions opt;
+  opt.include_hartree = false;
+  opt.nstates = 6;
+  opt.anderson_depth = 2;
+  opt.max_iterations = 6;
+  opt.density_tol = 1e-16;  // unreachable: every iteration mixes
+  KohnShamDFT<double> dft(dofh, nullptr, {}, opt);
+  dft.set_external_potential(trap_potential(dofh, L), 2.0);
+  const std::size_t before =
+      obs::MetricsRegistry::global().series("scf.anderson_depth").size();
+  dft.solve();
+  const auto s = obs::MetricsRegistry::global().series("scf.anderson_depth");
+  ASSERT_EQ(s.size(), before + 6);
+  EXPECT_EQ(s[before + 0], 0.0);
+  EXPECT_EQ(s[before + 1], 1.0);
+  for (std::size_t i = before + 2; i < s.size(); ++i)
+    EXPECT_EQ(s[i], 2.0) << "history exceeded anderson_depth at iteration " << i - before;
+}
+
+TEST(Scf, FermiBisectionHandlesDegenerateShell) {
+  // Four electrons in the harmonic trap: two fill the s level, the other two
+  // spread fractionally (2/3 each) over the threefold-degenerate p shell.
+  // The 200-step bisection must pin mu inside the degenerate level and hold
+  // the electron count to bisection precision even though count(mu) is
+  // nearly flat between shells and jumps steeply across the p level.
+  const double L = 10.0;
+  const fe::Mesh m = fe::make_uniform_mesh(L, 3, false);
+  fe::DofHandler dofh(m, 3);
+  ScfOptions opt;
+  opt.include_hartree = false;
+  opt.nstates = 8;
+  opt.temperature = 0.01;
+  opt.max_iterations = 1;
+  KohnShamDFT<double> dft(dofh, nullptr, {}, opt);
+  dft.set_external_potential(trap_potential(dofh, L), 4.0);
+  dft.solve();
+  const double mu = dft.find_fermi_level();
+  const auto f = dft.occupations(0, mu);
+  double ne = 0.0;
+  for (double fi : f) ne += fi;
+  EXPECT_NEAR(ne, 4.0, 1e-6);
+  EXPECT_NEAR(f[0], 2.0, 1e-2);  // filled s shell
+  // The cubic discretization preserves the p degeneracy, so the three
+  // fractional occupancies must come out (nearly) equal.
+  for (int i = 1; i <= 3; ++i) EXPECT_NEAR(f[i], 2.0 / 3.0, 0.05) << "p state " << i;
+  const auto& ev = dft.eigenvalues(0);
+  EXPECT_GT(mu, ev[0]);
+  EXPECT_LT(mu, ev[4]);
+}
+
+TEST(Scf, CholeskyRetryEngagesInsideFullScf) {
+  // An overdriven Chebyshev degree collapses the filtered block toward the
+  // dominant eigendirections within a single filter application, making the
+  // CholGS Gram numerically singular *inside solve()* (not via a hand-
+  // corrupted subspace as in CholeskyBreakdownRegularizationRetry): the
+  // regularized retry must engage and the SCF must still land on the
+  // healthy trajectory's energy.
+  const double L = 10.0;
+  const fe::Mesh m = fe::make_uniform_mesh(L, 3, false);
+  fe::DofHandler dofh(m, 3);
+  auto run = [&](int degree) {
+    ScfOptions opt;
+    opt.include_hartree = false;
+    opt.nstates = 6;
+    opt.cheb_degree = degree;
+    opt.max_iterations = 2;
+    opt.first_iteration_cycles = 2;
+    opt.density_tol = 1e-16;
+    KohnShamDFT<double> dft(dofh, nullptr, {}, opt);
+    dft.set_external_potential(trap_potential(dofh, L), 2.0);
+    return dft.solve();
+  };
+  auto& metrics = obs::MetricsRegistry::global();
+  const double before = metrics.counter("chfes.cholesky_retries");
+  const auto healthy = run(30);
+  EXPECT_EQ(metrics.counter("chfes.cholesky_retries"), before)
+      << "reference degree unexpectedly triggered a retry";
+  const auto overdriven = run(160);
+  EXPECT_GT(metrics.counter("chfes.cholesky_retries"), before);
+  EXPECT_TRUE(std::isfinite(overdriven.energy.total));
+  EXPECT_NEAR(overdriven.energy.total, healthy.energy.total, 1e-5);
 }
 
 TEST(Scf, PeriodicElectronGasIsUniform) {

@@ -24,6 +24,7 @@
 
 #include "base/flops.hpp"
 #include "base/timer.hpp"
+#include "dd/backend.hpp"
 #include "dd/engine.hpp"
 #include "dd/exchange.hpp"
 #include "dd/mailbox.hpp"
@@ -460,6 +461,107 @@ TEST(RaceEngine, LaneFaultPropagationUnderContention) {
       ASSERT_LT(la::max_abs_diff(Y, Yref), 1e-12);
     }
   });
+}
+
+TEST(RaceBackend, ConcurrentThreadedBackendsAllStagesAgree) {
+  // Each thread owns a full ThreadedBackend (its own lanes, mailboxes, and
+  // Gram/density job state) and sweeps every ExecBackend stage — apply,
+  // filter, the slab-partial Gram reduction, and the disjoint-owned-rows
+  // density accumulation — under whatever scheduling contention the other
+  // backends generate. The Gram and density lane jobs are new in the
+  // backend refactor and are otherwise only exercised single-threaded.
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  std::vector<double> v(dofh.ndofs());
+  for (index_t i = 0; i < dofh.ndofs(); ++i) v[i] = -0.3 * std::cos(0.11 * i);
+  ks::Hamiltonian<double> href(dofh);
+  href.set_potential(v);
+
+  la::Matrix<double> X(dofh.ndofs(), 4);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.29 * i);
+  la::Matrix<double> Yref, Sref;
+  href.apply(X, Yref);
+  la::overlap_hermitian_mixed(X, Yref, Sref, 2, false);
+  const std::vector<double> occ = {2.0, 1.4, 0.7, 0.1};
+  std::vector<double> rho_ref(dofh.ndofs(), 0.0);
+  {
+    dd::BackendOptions sopt;
+    auto serial = dd::make_backend<double>(
+        dofh, sopt,
+        [&href](const la::Matrix<double>& A, la::Matrix<double>& B, double c, double s,
+                const la::Matrix<double>* Z, double zc) {
+          href.apply_fused(A, B, c, s, Z, zc);
+        });
+    serial->accumulate_density(X, occ, 1.0, rho_ref);
+  }
+
+  run_threads(kThreads, [&](int t) {
+    dd::EngineOptions opt;
+    opt.nlanes = 2 + t % 2;
+    dd::ThreadedBackend<double> be(dofh, opt);
+    be.set_potential(v);
+    la::Matrix<double> Y, S;
+    std::vector<double> rho(dofh.ndofs());
+    for (int i = 0; i < 8; ++i) {
+      be.apply(X, Y);
+      ASSERT_LT(la::max_abs_diff(Y, Yref), 1e-12);
+      be.overlap(X, Y, S, 2, false);
+      ASSERT_LT(la::max_abs_diff(S, Sref), 1e-10);
+      std::fill(rho.begin(), rho.end(), 0.0);
+      be.accumulate_density(X, occ, 1.0, rho);
+      for (index_t g = 0; g < dofh.ndofs(); ++g) ASSERT_NEAR(rho[g], rho_ref[g], 1e-13);
+      la::Matrix<double> Xf = X;
+      be.filter_block(Xf, 0, 2, 4, -0.2, 2.5, -1.1);
+      for (index_t g = 0; g < Xf.size(); ++g) ASSERT_TRUE(std::isfinite(Xf.data()[g]));
+    }
+  });
+}
+
+TEST(RaceBackend, SubmitGuardDiagnosesCrossThreadSubmit) {
+  // The driver-thread contract under TSan: while one thread's filter is in
+  // flight (held open by an injected wire delay), a second thread's submit
+  // must be rejected with std::logic_error under the engine mutex — no
+  // job-state overwrite, no mailbox corruption — and the engine must stay
+  // usable afterwards. The probe is an overlap: it performs no wire-capacity
+  // setup, so it touches no lane-shared buffers before hitting the guard.
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  std::vector<double> v(dofh.ndofs(), -0.4);
+
+  dd::EngineOptions opt;
+  opt.nlanes = 2;
+  opt.mode = dd::EngineMode::sync;
+  opt.inject_wire_delay = true;
+  opt.model.latency_s = 0.02;  // >= 20 ms exposed per halo packet
+  dd::ThreadedBackend<double> be(dofh, opt);
+  be.set_potential(v);
+
+  la::Matrix<double> X(dofh.ndofs(), 2), A(dofh.ndofs(), 2), S;
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.41 * i);
+  for (index_t i = 0; i < A.size(); ++i) A.data()[i] = std::cos(0.19 * i);
+  // Pre-size all lane storage at the in-flight job's degree, so neither the
+  // driver's filter nor the probe performs any lane-visible setup writes.
+  be.filter_block(X, 0, 2, 6, -0.2, 2.5, -1.1);
+
+  std::atomic<bool> started{false};
+  std::atomic<int> guard_throws{0};
+  std::thread driver([&] {
+    started.store(true, std::memory_order_release);
+    be.filter_block(X, 0, 2, 6, -0.2, 2.5, -1.1);  // >= 120 ms with the delay
+  });
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  try {
+    be.engine().overlap(A, A, S, 8, false);
+  } catch (const std::logic_error&) {
+    guard_throws.fetch_add(1, std::memory_order_relaxed);
+  }
+  driver.join();
+  EXPECT_EQ(guard_throws.load(), 1);
+
+  la::Matrix<double> Y;
+  be.apply(X, Y);
+  for (index_t i = 0; i < Y.size(); ++i) ASSERT_TRUE(std::isfinite(Y.data()[i]));
 }
 
 TEST(RaceFlops, ConcurrentAttributedAccumulation) {

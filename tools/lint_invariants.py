@@ -71,6 +71,13 @@ HOT_PATH_FILES = [
     # deliberately not listed here.
     "src/dd/engine.hpp",
     "src/dd/mailbox.hpp",
+    # Execution backends: the inline stage methods (apply / filter_block /
+    # overlap / accumulate_density) run once per recurrence step or SCF
+    # stage; construction and factories live in dd/backend.cpp (cold).
+    "src/dd/backend.hpp",
+    # SCF driver: the per-iteration loop body (potential update, solver
+    # cycles, density build, mixing) — per-solve setup needs waivers.
+    "src/ks/scf.cpp",
 ]
 
 ALLOC_PATTERNS = [
@@ -99,7 +106,7 @@ TRACE_VOCAB = {
     "SCF", "SCF-iter", "ChFES-cycle", "Relax-step",
     "invDFT-forward", "invDFT-adjoint", "Simulation-run",
     # threaded rank engine (dd/engine.hpp) lane-side spans
-    "CF-lane", "CF-halo", "Engine-apply",
+    "CF-lane", "CF-halo", "Engine-apply", "Gram-lane", "DC-lane",
 }
 
 TRACE_SPAN_RE = re.compile(r"\bTraceSpan\b[^(;]*\(\s*\"([^\"]*)\"")

@@ -27,7 +27,9 @@
 #include "base/timer.hpp"
 #include "la/batched.hpp"
 #include "la/blas.hpp"
+#include "la/workspace_metrics.hpp"
 #include "obs/export.hpp"
+#include "obs/report.hpp"
 
 namespace dftfe::bench {
 
@@ -112,6 +114,13 @@ inline void emit_bench_artifact(const std::string& name, const std::string& pref
   for (const auto& [key, value] : gauges)
     m.gauge_set(prefix.empty() ? key : prefix + "." + key, value);
   write_bench_artifact("BENCH_" + name + ".json");
+  // RunReport flight-recorder twin of the flat snapshot: span tree + comm /
+  // memory / convergence ledgers, diffable with tools/report_diff.py. Must
+  // also be written before the registries are cleared below.
+  la::publish_workspace_metrics();
+  const std::string report_path = "RUNREPORT_" + name + ".json";
+  if (obs::write_run_report(report_path, obs::build_run_report(name)))
+    std::printf("run report:     %s\n", report_path.c_str());
   ProfileRegistry::global().clear();
   FlopCounter::global().clear();
 }

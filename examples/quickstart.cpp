@@ -30,16 +30,38 @@ int main() {
   opt.vacuum = 7.0;
   opt.scf.verbose = true;
   opt.scf.temperature = 5e-3;
+  // The dimer solves for ~11 states, below the default 64-column mixed-
+  // precision tile — the FP32 off-diagonal CholGS/RR policy (and its FP32
+  // wire share in the RunReport comm ledger) would be inert. Shrink the tile
+  // so the quickstart exercises the paper's mixed-precision path end to end.
+  opt.scf.mp_block = 4;
 
   // Execution-backend selection from the environment, so the same binary
   // serves the CI engine-scf-equivalence leg: DFTFE_BACKEND=threaded runs
   // the whole solver stack on slab-rank lanes (DFTFE_NLANES picks the lane
-  // count); anything else keeps the serial backend.
+  // count); anything else keeps the serial backend. The remaining knobs
+  // drive the RunReport attribution demo (tests/report_diff_e2e.py):
+  // DFTFE_WIRE=fp32 demotes the halo wire, DFTFE_ENGINE_MODE=sync exposes
+  // the wire time, DFTFE_INJECT_WIRE_DELAY=1 sleeps out the modeled wire
+  // time on receive, DFTFE_WIRE_BW overrides the modeled bandwidth (bytes/s)
+  // and DFTFE_REPORT overrides the RunReport output path.
   if (const char* be = std::getenv("DFTFE_BACKEND"); be != nullptr &&
                                                      std::strcmp(be, "threaded") == 0) {
     opt.backend.kind = dd::BackendKind::threaded;
     if (const char* nl = std::getenv("DFTFE_NLANES")) opt.backend.nlanes = std::atoi(nl);
   }
+  if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr && std::strcmp(w, "fp32") == 0)
+    opt.backend.wire = dd::Wire::fp32;
+  if (const char* m = std::getenv("DFTFE_ENGINE_MODE");
+      m != nullptr && std::strcmp(m, "sync") == 0)
+    opt.backend.mode = dd::EngineMode::sync;
+  if (const char* d = std::getenv("DFTFE_INJECT_WIRE_DELAY");
+      d != nullptr && std::atoi(d) != 0)
+    opt.backend.inject_wire_delay = true;
+  if (const char* bw = std::getenv("DFTFE_WIRE_BW"); bw != nullptr && std::atof(bw) > 0.0)
+    opt.backend.model.bandwidth_bytes_per_s = std::atof(bw);
+  opt.report_path = "quickstart_report.json";
+  if (const char* rp = std::getenv("DFTFE_REPORT")) opt.report_path = rp;
 
   std::printf("== DFT-FE-MLXC quickstart: Mg2 dimer, LDA ==\n");
   std::printf("backend: %s",
@@ -83,5 +105,8 @@ int main() {
                 obs::TraceRecorder::global().size());
   if (obs::write_metrics_snapshot("quickstart_metrics.json"))
     std::printf("metrics: quickstart_metrics.json\n");
+  // The RunReport itself is written by Simulation::run() (report_path).
+  std::printf("report:  %s (RunReport; diff two with tools/report_diff.py)\n",
+              opt.report_path.c_str());
   return res.scf.converged ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "la/workspace_metrics.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "xc/lda.hpp"
 #include "xc/pbe.hpp"
@@ -138,6 +140,16 @@ SimulationResult Simulation::run() {
   metrics.gauge_set("scf.converged", res.scf.converged ? 1.0 : 0.0);
   metrics.gauge_set("scf.fermi_level.final", res.scf.energy.fermi_level);
   metrics.gauge_set("sim.energy", res.energy);
+  if (!opt_.report_path.empty()) {
+    // Close the run span first so its wall time (and histogram sample) is
+    // part of the report it gates.
+    span.stop();
+    la::publish_workspace_metrics();
+    if (obs::write_run_report(opt_.report_path, obs::build_run_report("simulation")))
+      DFTFE_LOG(info) << "[sim] run report written to " << opt_.report_path;
+    else
+      DFTFE_LOG(warn) << "[sim] failed to write run report to " << opt_.report_path;
+  }
   return res;
 }
 

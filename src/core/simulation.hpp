@@ -42,6 +42,9 @@ struct SimulationOptions {
   /// or threaded slab-rank lanes. Copied into scf.backend by run(); set
   /// scf.backend directly only to diverge from this top-level choice.
   dd::BackendOptions backend;
+  /// When non-empty, run() writes the RunReport flight-recorder artifact
+  /// (schema dftfe.runreport.v1, see obs/report.hpp) to this path.
+  std::string report_path;
   ks::ScfOptions scf;
 };
 

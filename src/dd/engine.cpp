@@ -9,6 +9,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -318,6 +321,54 @@ void SlabEngine<T>::collect_step_stats(int nsteps) {
 }
 
 template <class T>
+void SlabEngine<T>::publish_job_metrics(int nsteps) {
+  obs::MetricsRegistry& m = obs::MetricsRegistry::global();
+  std::int64_t d64b = 0, d32b = 0, d64m = 0, d32m = 0;
+  double exposed = 0.0, modeled = 0.0, pack = 0.0;
+  double drift_num = 0.0, drift_den = 0.0;
+  for (auto& lp : lanes_) {
+    Lane& ln = *lp;
+    const std::int64_t dbytes = ln.comm.bytes - ln.comm_pub.bytes;
+    const std::int64_t dmsgs = ln.comm.messages - ln.comm_pub.messages;
+    modeled += ln.comm.modeled_seconds - ln.comm_pub.modeled_seconds;
+    pack += ln.comm.pack_seconds - ln.comm_pub.pack_seconds;
+    d64b += ln.wire.fp64_bytes - ln.wire_pub.fp64_bytes;
+    d32b += ln.wire.fp32_bytes - ln.wire_pub.fp32_bytes;
+    d64m += ln.wire.fp64_messages - ln.wire_pub.fp64_messages;
+    d32m += ln.wire.fp32_messages - ln.wire_pub.fp32_messages;
+    drift_num += ln.wire.drift_num;
+    drift_den += ln.wire.drift_den;
+    double wait = 0.0;
+    for (int k = 0; k < nsteps && k < static_cast<int>(ln.steps.size()); ++k)
+      wait += ln.steps[static_cast<std::size_t>(k)].wait;
+    exposed += wait;
+    const std::string lane_prefix = "comm.lane" + std::to_string(ln.rank);
+    m.counter_add(lane_prefix + ".bytes", static_cast<double>(dbytes));
+    m.counter_add(lane_prefix + ".messages", static_cast<double>(dmsgs));
+    m.counter_add(lane_prefix + ".exposed_wait_s", wait);
+    // Lane working-set high water: every persistent WorkMatrix the lane owns.
+    std::int64_t hw = ln.sl.highwater_bytes() + ln.xb.highwater_bytes() +
+                      ln.yb.highwater_bytes() + ln.zb.highwater_bytes() +
+                      ln.gram.highwater_bytes();
+    for (const Segment& sg : ln.segments)
+      hw += sg.xs.highwater_bytes() + sg.ys.highwater_bytes();
+    m.gauge_set("mem.lane" + std::to_string(ln.rank) + ".highwater_bytes",
+                static_cast<double>(hw));
+    ln.comm_pub = ln.comm;
+    ln.wire_pub = ln.wire;
+  }
+  m.counter_add("comm.wire.fp64.bytes", static_cast<double>(d64b));
+  m.counter_add("comm.wire.fp32.bytes", static_cast<double>(d32b));
+  m.counter_add("comm.wire.fp64.messages", static_cast<double>(d64m));
+  m.counter_add("comm.wire.fp32.messages", static_cast<double>(d32m));
+  m.counter_add("comm.halo.exposed_wait_s", exposed);
+  m.counter_add("comm.halo.modeled_s", modeled);
+  m.counter_add("comm.halo.pack_s", pack);
+  if (drift_den > 0.0)
+    m.gauge_set("comm.wire.fp32.drift_rms", std::sqrt(drift_num / drift_den));
+}
+
+template <class T>
 void SlabEngine<T>::set_potential(const std::vector<double>& v_eff) {
   if (static_cast<index_t>(v_eff.size()) < dofh_->ndofs())
     throw std::invalid_argument("SlabEngine::set_potential: field too short");
@@ -342,6 +393,7 @@ void SlabEngine<T>::apply(const la::Matrix<T>& X, la::Matrix<T>& Y) {
   j.Y = &Y;
   submit(j);
   collect_step_stats(1);
+  publish_job_metrics(1);
 }
 
 template <class T>
@@ -365,6 +417,7 @@ void SlabEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
   j.a0 = a0;
   submit(j);
   collect_step_stats(degree);
+  publish_job_metrics(degree);
 }
 
 template <class T>
@@ -383,6 +436,7 @@ void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
   j.mixed = mixed;
   submit(j);
   collect_step_stats(1);
+  publish_job_metrics(1);
   // Deterministic-order reduction of the slab partials (lane 0..R-1, exactly
   // the ordered allreduce a reproducible distributed run pins down), then one
   // Hermitian completion over the summed upper block triangle.
@@ -417,6 +471,7 @@ void SlabEngine<T>::accumulate_density(const la::Matrix<T>& X,
   j.rho = &rho;
   submit(j);
   collect_step_stats(1);
+  publish_job_metrics(1);
 }
 
 template <class T>
@@ -432,8 +487,28 @@ CommStats SlabEngine<T>::comm_stats() const {
 }
 
 template <class T>
+WireStats SlabEngine<T>::wire_stats() const {
+  WireStats total;
+  for (const auto& ln : lanes_) {
+    total.fp64_bytes += ln->wire.fp64_bytes;
+    total.fp32_bytes += ln->wire.fp32_bytes;
+    total.fp64_messages += ln->wire.fp64_messages;
+    total.fp32_messages += ln->wire.fp32_messages;
+    total.drift_num += ln->wire.drift_num;
+    total.drift_den += ln->wire.drift_den;
+  }
+  return total;
+}
+
+template <class T>
 void SlabEngine<T>::clear_comm_stats() {
-  for (auto& ln : lanes_) ln->comm = CommStats{};
+  for (auto& ln : lanes_) {
+    ln->comm = CommStats{};
+    ln->wire = WireStats{};
+    // Keep the registry deltas exact across the reset.
+    ln->comm_pub = CommStats{};
+    ln->wire_pub = WireStats{};
+  }
 }
 
 template <class T>

@@ -97,6 +97,18 @@ struct EngineStepStats {
   double modeled = 0.0;
 };
 
+/// Wire traffic split by precision, plus the FP32 demotion drift
+/// accumulators (sum |x - fp32(x)|^2 / sum |x|^2 over every value packed
+/// through an FP32 wire slot) that feed the RunReport error-budget gauge.
+struct WireStats {
+  std::int64_t fp64_bytes = 0;
+  std::int64_t fp32_bytes = 0;
+  std::int64_t fp64_messages = 0;
+  std::int64_t fp32_messages = 0;
+  double drift_num = 0.0;
+  double drift_den = 0.0;
+};
+
 template <class T>
 class SlabEngine {
  public:
@@ -145,6 +157,8 @@ class SlabEngine {
   /// Aggregated wire traffic over all lanes since construction /
   /// clear_comm_stats(). Call between jobs.
   CommStats comm_stats() const;
+  /// Same traffic split by wire precision, with the FP32 drift accumulators.
+  WireStats wire_stats() const;
   void clear_comm_stats();
 
   /// Per-step timings of the most recent job (max over lanes).
@@ -202,6 +216,11 @@ class SlabEngine {
     la::WorkMatrix<T> gram;            // slab-local partial Gram block (N x N)
     std::vector<EngineStepStats> steps;
     CommStats comm;
+    WireStats wire;
+    // Snapshots of comm/wire at the last publish_job_metrics call, so the
+    // registry counters receive exact per-job deltas.
+    CommStats comm_pub;
+    WireStats wire_pub;
     std::thread th;
   };
 
@@ -215,6 +234,9 @@ class SlabEngine {
   void ensure_wire_capacity(index_t ncols);
   void ensure_step_storage(int nsteps);
   void collect_step_stats(int nsteps);
+  /// Push this job's comm/memory deltas into MetricsRegistry::global() under
+  /// the RunReport ledger vocabulary (driver thread, after the job synced).
+  void publish_job_metrics(int nsteps);
   void close_lane_channels(Lane& ln);
 
   std::int64_t wire_bytes(index_t ncols) const {
@@ -231,16 +253,29 @@ class SlabEngine {
     if (!nb.active) return;
     Timer tp;
     const index_t P = plane_size_, B = Yl.cols();
+    const std::int64_t bytes = wire_bytes(B);
     const int s = nb.send->begin_post();
     if (opt_.wire == Wire::fp32) {
       la::low_precision_t<T>* w = nb.send->buf32(s);
-      for (index_t j = 0; j < B; ++j) la::demote(Yl.col(j) + row0, w + j * P, P);
+      for (index_t j = 0; j < B; ++j) {
+        const T* y = Yl.col(j) + row0;
+        la::low_precision_t<T>* wj = w + j * P;
+        la::demote(y, wj, P);
+        // Error budget: relative L2 drift of the demoted interface partials.
+        for (index_t i = 0; i < P; ++i) {
+          ln.wire.drift_num += scalar_traits<T>::abs2(y[i] - static_cast<T>(wj[i]));
+          ln.wire.drift_den += scalar_traits<T>::abs2(y[i]);
+        }
+      }
+      ln.wire.fp32_bytes += bytes;
+      ln.wire.fp32_messages += 1;
     } else {
       T* w = nb.send->buf64(s);
       for (index_t j = 0; j < B; ++j)
         std::copy(Yl.col(j) + row0, Yl.col(j) + row0 + P, w + j * P);
+      ln.wire.fp64_bytes += bytes;
+      ln.wire.fp64_messages += 1;
     }
-    const std::int64_t bytes = wire_bytes(B);
     const double modeled = opt_.model.time(bytes, 1);
     auto ready = HaloChannel<T>::Clock::now();
     if (opt_.inject_wire_delay)
@@ -270,6 +305,8 @@ class SlabEngine {
         const la::low_precision_t<T>* wj = w + j * P;
         for (index_t i = 0; i < P; ++i) y[i] += static_cast<T>(wj[i]);
       }
+      ln.wire.fp32_bytes += wire_bytes(B);
+      ln.wire.fp32_messages += 1;
     } else {
       const T* w = nb.recv->cbuf64(s);
       for (index_t j = 0; j < B; ++j) {
@@ -277,6 +314,8 @@ class SlabEngine {
         const T* wj = w + j * P;
         for (index_t i = 0; i < P; ++i) y[i] += wj[i];
       }
+      ln.wire.fp64_bytes += wire_bytes(B);
+      ln.wire.fp64_messages += 1;
     }
     nb.recv->release(s);
     const std::int64_t bytes = wire_bytes(B);
@@ -466,7 +505,28 @@ class SlabEngine {
     la::overlap_hermitian_partial(la::cspan(*job.X).rows_range(ln.grow0, nrows),
                                   la::cspan(*job.B2).rows_range(ln.grow0, nrows), S,
                                   job.mp_block, job.mixed);
-    const std::int64_t bytes = static_cast<std::int64_t>(N) * N * sizeof(T);
+    // Allreduce payload: with the mixed policy the diagonal blocks travel in
+    // full precision and the off-diagonal triangle in FP32, mirroring the
+    // paper's mixed-precision CholGS/RR communication.
+    std::int64_t elems64 = static_cast<std::int64_t>(N) * N, elems32 = 0;
+    if (job.mixed) {
+      std::int64_t diag = 0;
+      for (index_t b0 = 0; b0 < N; b0 += job.mp_block) {
+        const std::int64_t w = std::min(job.mp_block, N - b0);
+        diag += w * w;
+      }
+      elems32 = elems64 - diag;
+      elems64 = diag;
+    }
+    const std::int64_t bytes =
+        elems64 * static_cast<std::int64_t>(sizeof(T)) +
+        elems32 * static_cast<std::int64_t>(sizeof(la::low_precision_t<T>));
+    ln.wire.fp64_bytes += elems64 * static_cast<std::int64_t>(sizeof(T));
+    ln.wire.fp64_messages += 1;
+    if (elems32 > 0) {
+      ln.wire.fp32_bytes += elems32 * static_cast<std::int64_t>(sizeof(la::low_precision_t<T>));
+      ln.wire.fp32_messages += 1;
+    }
     ln.comm.bytes += bytes;
     ln.comm.messages += 1;
     ln.comm.modeled_seconds +=

@@ -311,6 +311,7 @@ ScfResult KohnShamDFT<T>::solve() {
   copt.cheb_degree = opt_.cheb_degree;
   copt.block_size = opt_.block_size;
   copt.mixed_precision = opt_.mixed_precision;
+  copt.mp_block = opt_.mp_block;
   for (std::size_t ik = 0; ik < kpts_.size(); ++ik) {
     // lint: allow(hot-path-alloc): per-solve setup, outside the iteration loop
     hams_.push_back(std::make_unique<Hamiltonian<T>>(*dofh_, kpts_[ik].k));
@@ -374,6 +375,16 @@ ScfResult KohnShamDFT<T>::solve() {
     result.iterations = iter + 1;
     metrics.series_append("scf.residual", rnorm);
     metrics.series_append("scf.fermi_level", mu);
+    metrics.series_append("scf.cheb_degree", static_cast<double>(opt_.cheb_degree));
+    // Band energy at this iteration's Fermi level — the convergence-record
+    // energy series (cheaper than the full EnergyBreakdown every iteration).
+    double eband = 0.0;
+    for (std::size_t ik = 0; ik < kpts_.size(); ++ik) {
+      const auto& ev = solvers_[ik]->eigenvalues();
+      const auto f = occupations(static_cast<int>(ik), mu);
+      for (std::size_t i = 0; i < ev.size(); ++i) eband += kpts_[ik].weight * f[i] * ev[i];
+    }
+    metrics.series_append("scf.band_energy", eband);
     DFTFE_LOG_AT(obs::level_for(opt_.verbose))
         << "  [scf] iter " << iter << "  residual " << rnorm << "  mu " << mu;
 
@@ -381,6 +392,7 @@ ScfResult KohnShamDFT<T>::solve() {
       result.converged = true;
       result.energy = compute_energy(rho_out, v_eff_used, mu);
       rho_ = rho_out;
+      metrics.gauge_set("scf.converged", 1.0);
       return result;
     }
 
@@ -451,6 +463,7 @@ ScfResult KohnShamDFT<T>::solve() {
   }
 
   // Not converged: report the last state faithfully.
+  metrics.gauge_set("scf.converged", 0.0);
   update_effective_potential();
   const double mu = find_fermi_level();
   result.energy = compute_energy(rho_, v_eff_, mu);

@@ -46,6 +46,7 @@ struct ScfOptions {
   int cheb_degree = 15;
   index_t block_size = 128;
   bool mixed_precision = true;
+  index_t mp_block = 64;  // mixed-precision tile width (ChfesOptions::mp_block)
   int first_iteration_cycles = 4;
   double mixing_alpha = 0.3;
   int anderson_depth = 4;

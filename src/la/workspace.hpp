@@ -104,6 +104,12 @@ class WorkMatrix {
   Matrix<T>& get() { return m_; }
   const Matrix<T>& get() const { return m_; }
 
+  /// High-water element count (the persistent footprint of this buffer).
+  index_t highwater() const { return highwater_; }
+  std::int64_t highwater_bytes() const {
+    return static_cast<std::int64_t>(highwater_) * static_cast<std::int64_t>(sizeof(T));
+  }
+
   /// Swap storage with another matrix of the same size (allocation-free
   /// subspace rotation: gemm into the work buffer, then swap with the target).
   void swap(Matrix<T>& other) {
@@ -155,7 +161,12 @@ class Workspace {
     /// buffer is returned to the pool when the lease ends.
     void swap(Matrix<T>& other) {
       slot_.m->swap(other);
-      if (slot_.m->size() > slot_.highwater) slot_.highwater = slot_.m->size();
+      if (slot_.m->size() > slot_.highwater) {
+        if (ws_ != nullptr)
+          ws_->note_growth(static_cast<std::int64_t>(slot_.m->size() - slot_.highwater) *
+                           static_cast<std::int64_t>(sizeof(T)));
+        slot_.highwater = slot_.m->size();
+      }
     }
 
    private:
@@ -170,6 +181,7 @@ class Workspace {
   /// Check out a rows x cols buffer. Contents are unspecified unless `zeroed`.
   Lease checkout(index_t rows, index_t cols, bool zeroed = false) {
     WorkspaceCounters::note_checkout();
+    leases_.fetch_add(1, std::memory_order_relaxed);
     const index_t need = rows * cols;
     Slot slot;
     {
@@ -193,8 +205,10 @@ class Workspace {
       slot.m = std::make_unique<Matrix<T>>();
     }
     if (need > slot.highwater) {
-      WorkspaceCounters::note_alloc(static_cast<std::int64_t>(need - slot.highwater) *
-                                    static_cast<std::int64_t>(sizeof(T)));
+      const std::int64_t grown = static_cast<std::int64_t>(need - slot.highwater) *
+                                 static_cast<std::int64_t>(sizeof(T));
+      WorkspaceCounters::note_alloc(grown);
+      note_growth(grown);
       slot.highwater = need;
     }
     slot.m->reshape(rows, cols);
@@ -206,6 +220,15 @@ class Workspace {
     std::lock_guard<std::mutex> lk(mu_);
     return free_.size();
   }
+
+  /// Pool-level high-water mark: total backing bytes ever held by this
+  /// pool's slots (checked-out slots included — their growth is counted when
+  /// it happens, not when they return).
+  std::int64_t highwater_bytes() const {
+    return highwater_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative checkout (lease) count over the pool's lifetime.
+  std::int64_t leases() const { return leases_.load(std::memory_order_relaxed); }
 
   /// Drop all pooled buffers (tests / memory pressure).
   void clear() {
@@ -224,9 +247,14 @@ class Workspace {
     std::lock_guard<std::mutex> lk(mu_);
     free_.push_back(std::move(slot));
   }
+  void note_growth(std::int64_t bytes) {
+    highwater_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
 
   mutable std::mutex mu_;
   std::vector<Slot> free_;
+  std::atomic<std::int64_t> highwater_bytes_{0};
+  std::atomic<std::int64_t> leases_{0};
 };
 
 /// Grow-only ensure for plain vector scratch (thread-local panels and

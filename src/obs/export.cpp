@@ -20,7 +20,10 @@ std::string json_num(double v) {
   return buf;
 }
 
-void append_scalar_map(std::ostringstream& os, const std::map<std::string, double>& m) {
+// Works for both the registry's transparent-comparator maps and the plain
+// std::map<std::string,double> the FlopCounter returns.
+template <class Map>
+void append_scalar_map(std::ostringstream& os, const Map& m) {
   os << '{';
   bool first = true;
   for (const auto& [k, v] : m) {
@@ -69,17 +72,39 @@ std::string json_escape(const std::string& s) {
 
 std::string chrome_trace_json(const TraceRecorder& rec) {
   const auto events = rec.events();
+  // Lane-tagged spans render one row per slab-rank lane: the lane id becomes
+  // the Chrome tid. Untagged (driver/main) spans keep their OS-thread ids,
+  // offset past any plausible lane count so the two namespaces never collide.
+  constexpr std::uint32_t kThreadTidBase = 1000;
+  auto row_tid = [&](const TraceEvent& ev) -> std::uint32_t {
+    return ev.lane >= 0 ? static_cast<std::uint32_t>(ev.lane) : kThreadTidBase + ev.tid;
+  };
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dftfe-mlxc\",\"dropped\":"
      << rec.dropped() << "},\"traceEvents\":[";
   bool first = true;
+  // thread_name metadata events so the per-lane rows are labeled in
+  // chrome://tracing / Perfetto.
+  std::map<std::uint32_t, std::string> row_names;
+  for (const auto& ev : events) {
+    const std::uint32_t tid = row_tid(ev);
+    if (row_names.count(tid)) continue;
+    row_names[tid] = ev.lane >= 0 ? "lane " + std::to_string(ev.lane)
+                                  : "thread " + std::to_string(ev.tid);
+  }
+  for (const auto& [tid, name] : row_names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
   for (const auto& ev : events) {
     if (!first) os << ',';
     first = false;
     os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.category)
-       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << json_num(ev.ts_us)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << row_tid(ev) << ",\"ts\":" << json_num(ev.ts_us)
        << ",\"dur\":" << json_num(ev.dur_us) << ",\"args\":{\"id\":" << ev.id
-       << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth;
+       << ",\"parent\":" << ev.parent << ",\"depth\":" << ev.depth << ",\"thread\":" << ev.tid;
     if (ev.lane >= 0) os << ",\"lane\":" << ev.lane;
     os << "}}";
   }
@@ -126,6 +151,27 @@ std::string metrics_snapshot_json(const MetricsRegistry& metrics,
     first = false;
     os << '"' << json_escape(name) << "\":{\"seconds\":" << json_num(entry.seconds)
        << ",\"count\":" << entry.count << '}';
+  }
+  os << '}';
+
+  os << ",\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_num(h.sum) << ",\"min\":" << json_num(h.min)
+       << ",\"max\":" << json_num(h.max) << ",\"p50\":" << json_num(h.quantile(0.5))
+       << ",\"p99\":" << json_num(h.quantile(0.99)) << ",\"buckets\":[";
+    // Sparse [index, count] pairs: most of the 64 log2 buckets are empty.
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (!h.buckets[static_cast<std::size_t>(i)]) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '[' << i << ',' << h.buckets[static_cast<std::size_t>(i)] << ']';
+    }
+    os << "]}";
   }
   os << '}';
 

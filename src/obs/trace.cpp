@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dftfe::obs {
 
 namespace {
@@ -106,6 +108,9 @@ void TraceSpan::stop() {
   stopped_ = true;
   const double seconds = t_.seconds();
   reg_->add(name_, seconds);
+  // Span-duration distribution; zero steady-state allocation (transparent
+  // string_view lookup against an existing key).
+  MetricsRegistry::global().histogram_record(name_, seconds);
 #if DFTFE_ENABLE_TRACING
   if (!t_span_stack.empty() && t_span_stack.back() == id_) t_span_stack.pop_back();
   TraceEvent ev;

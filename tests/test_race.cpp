@@ -37,6 +37,7 @@
 #include "la/workspace.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace dftfe {
@@ -108,6 +109,42 @@ TEST(RaceRegistry, MetricsRegistryConcurrentCountersGaugesSeries) {
     ASSERT_EQ(s.size(), static_cast<std::size_t>(kIters));
     EXPECT_DOUBLE_EQ(s.back(), kIters - 1.0);
   }
+}
+
+TEST(RaceRegistry, HistogramsAndReportBuildConcurrent) {
+  obs::MetricsRegistry reg;
+  obs::TraceRecorder rec;
+  ProfileRegistry prof;
+  constexpr int kIters = 1500;
+  std::atomic<bool> done{false};
+  // A builder thread assembles full RunReports from the live registries
+  // while the workers mutate counters, gauges, and histograms under the
+  // ledger vocabulary: every registry accessor the report path uses is
+  // mutex-guarded, so the builder must only ever see consistent snapshots.
+  std::thread builder([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const obs::RunReport r = obs::build_run_report("race", -1.0, rec, reg, prof);
+      (void)r;
+    }
+  });
+  run_threads(kThreads, [&](int t) {
+    const std::string lane_key = "comm.lane" + std::to_string(t) + ".bytes";
+    for (int i = 0; i < kIters; ++i) {
+      reg.counter_add("comm.wire.fp32.bytes", 4.0);
+      reg.counter_add(lane_key, 8.0);
+      reg.gauge_set("mem.workspace.checkouts", static_cast<double>(i));
+      reg.histogram_record("CF-halo", 1e-4 * (i + 1));
+      if (i % 256 == 0) (void)reg.snapshot();
+    }
+  });
+  done.store(true, std::memory_order_relaxed);
+  builder.join();
+  const obs::RunReport r = obs::build_run_report("race", -1.0, rec, reg, prof);
+  EXPECT_DOUBLE_EQ(r.comm.fp32.bytes, 4.0 * kThreads * kIters);
+  ASSERT_EQ(r.comm.lanes.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& ln : r.comm.lanes) EXPECT_DOUBLE_EQ(ln.bytes, 8.0 * kIters);
+  EXPECT_EQ(reg.histogram("CF-halo").count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 TEST(RaceTrace, ConcurrentNestedSpanEmission) {

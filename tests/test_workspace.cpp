@@ -15,7 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string_view>
 #include <vector>
 
 #include "base/flops.hpp"
@@ -26,6 +30,44 @@
 #include "la/blas.hpp"
 #include "la/mixed.hpp"
 #include "la/workspace.hpp"
+#include "obs/metrics.hpp"
+
+// Counting global operator new: the metrics zero-allocation suite asserts
+// that string_view lookups on warmed registry keys never allocate (the
+// transparent-comparator invariant of obs::MetricsRegistry). Disabled under
+// ASan/TSan, whose interceptors own the allocator.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DFTFE_COUNT_GLOBAL_NEW 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DFTFE_COUNT_GLOBAL_NEW 0
+#else
+#define DFTFE_COUNT_GLOBAL_NEW 1
+#endif
+#else
+#define DFTFE_COUNT_GLOBAL_NEW 1
+#endif
+
+namespace {
+std::atomic<std::int64_t> g_global_new_calls{0};
+}  // namespace
+
+#if DFTFE_COUNT_GLOBAL_NEW
+void* operator new(std::size_t sz) {
+  g_global_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) {
+  g_global_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
 
 namespace dftfe {
 namespace {
@@ -69,6 +111,38 @@ TEST(Workspace, PoolReusesReturnedBuffers) {
   EXPECT_EQ(la::WorkspaceCounters::checkouts(), 2);
   ws.clear();
   EXPECT_EQ(ws.pooled(), 0u);
+}
+
+TEST(Workspace, PoolHighWaterAndLeaseAccounting) {
+  la::Workspace<double> ws;
+  EXPECT_EQ(ws.highwater_bytes(), 0);
+  EXPECT_EQ(ws.leases(), 0);
+  {
+    auto a = ws.checkout(16, 16);
+    auto b = ws.checkout(8, 8);
+  }
+  const auto sz = static_cast<std::int64_t>(sizeof(double));
+  EXPECT_EQ(ws.leases(), 2);
+  EXPECT_EQ(ws.highwater_bytes(), (256 + 64) * sz);
+  {
+    auto c = ws.checkout(12, 12);  // best fit reuses the 256-element slot
+  }
+  EXPECT_EQ(ws.leases(), 3);
+  EXPECT_EQ(ws.highwater_bytes(), (256 + 64) * sz);
+  {
+    auto d = ws.checkout(20, 20);  // grows the largest slot: 256 -> 400
+  }
+  EXPECT_EQ(ws.leases(), 4);
+  EXPECT_EQ(ws.highwater_bytes(), (400 + 64) * sz);
+}
+
+TEST(Workspace, WorkMatrixHighWaterBytes) {
+  la::WorkMatrix<double> wm;
+  EXPECT_EQ(wm.highwater_bytes(), 0);
+  wm.acquire(8, 8);
+  wm.acquire(4, 4);  // shrink: high-water unchanged
+  EXPECT_EQ(wm.highwater(), 64);
+  EXPECT_EQ(wm.highwater_bytes(), static_cast<std::int64_t>(64 * sizeof(double)));
 }
 
 TEST(Workspace, EnsureScratchGrowOnly) {
@@ -307,6 +381,34 @@ TEST(Workspace, ChfesCycleIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(la::WorkspaceCounters::allocations(), 0)
       << "steady-state ChFES cycles must check out zero fresh heap buffers";
   EXPECT_GT(la::WorkspaceCounters::checkouts(), 0);
+}
+
+// ---------- metrics registry: zero-alloc string_view lookups ----------
+
+TEST(Workspace, MetricsMutatorsAllocationFreeOnWarmKeys) {
+#if !DFTFE_COUNT_GLOBAL_NEW
+  GTEST_SKIP() << "global operator new counting disabled under sanitizers";
+#else
+  auto& m = obs::MetricsRegistry::global();
+  // Warm the keys: the first touch of each name allocates its map node.
+  m.counter_add("zat.counter", 1);
+  m.gauge_set("zat.gauge", 0.0);
+  m.histogram_record("zat.hist", 1e-3);
+
+  const std::int64_t before = g_global_new_calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    // string_view arguments: the transparent comparator must resolve the
+    // existing keys without materializing a std::string.
+    m.counter_add(std::string_view("zat.counter"), 2);
+    m.gauge_set(std::string_view("zat.gauge"), 0.5 * i);
+    m.histogram_record(std::string_view("zat.hist"), 1e-6 * (i + 1));
+  }
+  const std::int64_t after = g_global_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "metric mutators on existing keys must not touch the heap";
+  EXPECT_EQ(m.counter("zat.counter"), 1 + 2 * 1000);
+  EXPECT_EQ(m.histogram("zat.hist").count, 1001u);
+#endif
 }
 
 }  // namespace

@@ -34,11 +34,20 @@ Floors
   `ablation_async.speedup=1.15`, the measured async-overlap acceptance
   gate). Machine normalization does not apply; ratios are dimensionless.
 
+RunReport attribution
+  --report BASELINE=CURRENT (repeatable) registers a pair of RunReport
+  flight-recorder artifacts (the RUNREPORT_*.json twins every bench writes
+  next to its BENCH_*.json). They are not gated here — but when a wall-time
+  gauge regresses, the checker shells out to tools/report_diff.py on each
+  pair and appends the top-3 regressed spans to the failure message, so the
+  CI log answers *where* the time went, not just that it went.
+
 Usage
   check_bench_regression.py [options] BASELINE=CURRENT [BASELINE=CURRENT...]
   check_bench_regression.py --threshold 1.10 \
       bench/baselines/BENCH_kernels.json=build/bench/BENCH_kernels.json \
       --min-gauge ablation_async.speedup=1.15 \
+      --report bench/baselines/RUNREPORT_kernels.json=build/bench/RUNREPORT_kernels.json \
       bench/baselines/BENCH_ablation_async_overlap.json=build/bench/BENCH_ablation_async_overlap.json
 
 Exit status: 0 clean, 1 regression or floor violation, 2 usage/parse error.
@@ -48,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -107,6 +117,34 @@ def compare_pair(base_path: Path, cur_path: Path, threshold: float, min_seconds:
     return failures
 
 
+def attribute_regressions(report_pairs: list[str], normalize: str) -> list[str]:
+    """Run tools/report_diff.py on each RunReport pair, echo its output, and
+    return the TOP-SPAN attribution lines for the failure summary."""
+    differ = Path(__file__).resolve().parent / "report_diff.py"
+    top_lines: list[str] = []
+    for pair in report_pairs:
+        if "=" not in pair:
+            print(f"  --report '{pair}': expected BASELINE=CURRENT, skipping")
+            continue
+        base_s, cur_s = pair.split("=", 1)
+        if not Path(base_s).is_file() or not Path(cur_s).is_file():
+            print(f"  --report {pair}: artifact missing, skipping attribution")
+            continue
+        print(f"\nattributing via report_diff: {cur_s} vs {base_s}")
+        proc = subprocess.run(
+            [sys.executable, str(differ), base_s, cur_s, "--top", "3",
+             "--normalize", normalize],
+            capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode not in (0, 1):
+            sys.stderr.write(proc.stderr)
+            continue
+        name = Path(cur_s).name
+        top_lines += [f"{name}: {line.strip()}" for line in proc.stdout.splitlines()
+                      if line.lstrip().startswith("TOP-SPAN")]
+    return top_lines
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="Fail when bench wall times regressed vs committed baselines.")
@@ -121,6 +159,9 @@ def main() -> int:
                          "(default: peak)")
     ap.add_argument("--min-gauge", action="append", default=[], metavar="KEY=VALUE",
                     help="require gauge KEY (in any current artifact) >= VALUE")
+    ap.add_argument("--report", action="append", default=[], metavar="BASELINE=CURRENT",
+                    help="RunReport pair to attribute a wall regression with "
+                         "(tools/report_diff.py, top-3 spans); repeatable")
     args = ap.parse_args()
 
     failures: list[str] = []
@@ -149,6 +190,8 @@ def main() -> int:
             print(f"floor {key}: {val:.4f} >= {floor:.4f} [ok]")
 
     if failures:
+        if args.report:
+            failures += attribute_regressions(args.report, args.normalize)
         print("\nbench regression check FAILED:")
         for f in failures:
             print(f"  {f}")

@@ -31,6 +31,14 @@ Rules (see DESIGN.md "Correctness & analysis tier"):
                    higher-level phases, so Table-3 style aggregation never
                    silently drops a misspelled step.
 
+  metric-vocab     Every `comm.*` / `mem.*` metric-name string literal in
+                   src/ is either an exact member of the RunReport ledger
+                   vocabulary (obs/report.hpp) or starts with a registered
+                   per-lane/per-pool prefix. The comm/memory ledgers of the
+                   RunReport are built by parsing these names back out of the
+                   MetricsRegistry, so a misspelled publisher would silently
+                   drop its line from every report and report_diff.
+
   tracing-gate     The DFTFE_ENABLE_TRACING gate is always used as a value
                    test (`#if DFTFE_ENABLE_TRACING`), never `#ifdef`/`#ifndef`
                    (the OFF configuration defines it to 0, which `#ifdef`
@@ -110,6 +118,21 @@ TRACE_VOCAB = {
 }
 
 TRACE_SPAN_RE = re.compile(r"\bTraceSpan\b[^(;]*\(\s*\"([^\"]*)\"")
+
+# RunReport ledger vocabulary (obs/report.hpp): the exact metric names the
+# comm/memory ledgers are parsed from, plus the per-lane / per-pool prefixes
+# whose suffix is dynamic (lane index, pool name).
+METRIC_VOCAB = {
+    "comm.wire.fp64.bytes", "comm.wire.fp32.bytes",
+    "comm.wire.fp64.messages", "comm.wire.fp32.messages",
+    "comm.halo.exposed_wait_s", "comm.halo.modeled_s", "comm.halo.pack_s",
+    "comm.wire.fp32.drift_rms",
+    "mem.workspace.allocations", "mem.workspace.bytes_allocated",
+    "mem.workspace.checkouts",
+}
+METRIC_PREFIXES = ("comm.lane", "mem.lane", "mem.pool.")
+
+METRIC_NAME_RE = re.compile(r"\"((?:comm|mem)\.[^\"]*)\"")
 
 WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
 
@@ -256,6 +279,21 @@ def lint_file(path: Path, root: Path, violations: list[Violation]) -> None:
                         "vocabulary; add it to TRACE_VOCAB in "
                         "tools/lint_invariants.py (a deliberate API "
                         "decision) or fix the name"))
+
+    # -- metric-vocab -- (raw lines: the metric name lives inside a string)
+    if in_src:
+        for idx, line in enumerate(raw_lines, start=1):
+            for m in METRIC_NAME_RE.finditer(line):
+                name = m.group(1)
+                ok = name in METRIC_VOCAB or name.startswith(METRIC_PREFIXES)
+                if not ok and not is_waived(waived, idx, "metric-vocab"):
+                    violations.append(Violation(
+                        "metric-vocab", path, idx,
+                        f"metric name '{name}' is not in the RunReport ledger "
+                        "vocabulary; add it to METRIC_VOCAB in "
+                        "tools/lint_invariants.py (and to the obs/report.hpp "
+                        "ledger parser, a deliberate schema decision) or fix "
+                        "the name"))
 
     # -- tracing-gate --
     if rel.endswith((".hpp", ".cpp", ".h", ".cc")) and (in_src or in_bench or

@@ -28,7 +28,11 @@
 // filter kernel in isolation.
 //
 // Every threaded run must also land on the serial total energy to
-// <= 1e-10 Ha (the refactor's equivalence gate, emitted as a gauge).
+// <= 1e-8 Ha (the equivalence gate, emitted as a gauge). The threaded
+// backend defaults to the FP32 halo wire, so the gate is the mixed-
+// precision drift budget rather than the old bitwise 1e-10; the FP64-wire
+// bitwise path is pinned by tests/test_backend.cpp, and the wire formats
+// are compared head-to-head by bench_scf_mixed_precision.
 //
 // Flags: --quick  fewer SCF iterations (the CI preset).
 
@@ -182,8 +186,11 @@ int main(int argc, char** argv) {
     step_compute /= static_cast<double>(stats.size());
   }
   const double delay = 0.8 * step_compute;
+  // Packet bytes under the wire format the SCF backend will actually use
+  // (the threaded default is FP32): calibrating against FP64 packets would
+  // halve the realized per-packet sleep and understate the sync/async gap.
   const std::int64_t bytes = dofh.naxis(0) * dofh.naxis(1) * base.block_size *
-                             static_cast<std::int64_t>(sizeof(double));
+                             wire_value_bytes<double>(dd::BackendOptions{}.wire);
   dd::CommModel net;
   net.latency_s = 2e-6;
   net.bandwidth_bytes_per_s =
@@ -213,7 +220,7 @@ int main(int argc, char** argv) {
               "(acceptance gate: >= 1.5x)\n",
               speedup);
   std::printf("max |E_threaded - E_serial| over all runs: %.3e Ha "
-              "(gate: <= 1e-10)\n\n",
+              "(gate: <= 1e-8; FP32 default wire)\n\n",
               energy_diff);
 
   bench::emit_bench_artifact("scf_strong_scaling", "scf_strong",
@@ -227,6 +234,6 @@ int main(int argc, char** argv) {
                               {"speedup", speedup},
                               {"injected_delay_s", delay},
                               {"energy_diff_ha", energy_diff},
-                              {"energy_agree", energy_diff <= 1e-10 ? 1.0 : 0.0}});
+                              {"energy_agree", energy_diff <= 1e-8 ? 1.0 : 0.0}});
   return 0;
 }

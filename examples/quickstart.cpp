@@ -41,7 +41,8 @@ int main() {
   // the whole solver stack on slab-rank lanes (DFTFE_NLANES picks the lane
   // count); anything else keeps the serial backend. The remaining knobs
   // drive the RunReport attribution demo (tests/report_diff_e2e.py):
-  // DFTFE_WIRE=fp32 demotes the halo wire, DFTFE_ENGINE_MODE=sync exposes
+  // DFTFE_WIRE selects the halo wire format (fp64 | fp32 | bf16; the
+  // threaded default is fp32), DFTFE_ENGINE_MODE=sync exposes
   // the wire time, DFTFE_INJECT_WIRE_DELAY=1 sleeps out the modeled wire
   // time on receive, DFTFE_WIRE_BW overrides the modeled bandwidth (bytes/s)
   // and DFTFE_REPORT overrides the RunReport output path.
@@ -50,8 +51,20 @@ int main() {
     opt.backend.kind = dd::BackendKind::threaded;
     if (const char* nl = std::getenv("DFTFE_NLANES")) opt.backend.nlanes = std::atoi(nl);
   }
-  if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr && std::strcmp(w, "fp32") == 0)
-    opt.backend.wire = dd::Wire::fp32;
+  if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr) {
+    if (std::strcmp(w, "fp64") == 0) {
+      opt.backend.wire = dd::Wire::fp64;
+    } else if (std::strcmp(w, "fp32") == 0) {
+      opt.backend.wire = dd::Wire::fp32;
+    } else if (std::strcmp(w, "bf16") == 0) {
+      opt.backend.wire = dd::Wire::bf16;
+    } else {
+      std::fprintf(stderr,
+                   "quickstart: unknown DFTFE_WIRE value '%s' "
+                   "(accepted: fp64 | fp32 | bf16)\n", w);
+      return 2;
+    }
+  }
   if (const char* m = std::getenv("DFTFE_ENGINE_MODE");
       m != nullptr && std::strcmp(m, "sync") == 0)
     opt.backend.mode = dd::EngineMode::sync;

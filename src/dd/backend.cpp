@@ -31,6 +31,7 @@ std::unique_ptr<ExecBackend<T>> make_backend(
   eopt.wire = opt.wire;
   eopt.model = opt.model;
   eopt.inject_wire_delay = opt.inject_wire_delay;
+  eopt.drift_budget = opt.drift_budget;
   eopt.hamiltonian = true;
   eopt.coef_lap = 0.5;
   eopt.kpoint = kpoint;
@@ -70,6 +71,7 @@ std::unique_ptr<ExecBackend<double>> make_stiffness_backend(
   eopt.wire = opt.wire;
   eopt.model = opt.model;
   eopt.inject_wire_delay = opt.inject_wire_delay;
+  eopt.drift_budget = opt.drift_budget;
   eopt.hamiltonian = false;   // identity epilogue: y = K x
   eopt.coef_lap = 1.0;        // Poisson stiffness scaling
   return std::make_unique<ThreadedBackend<double>>(dofh, eopt);

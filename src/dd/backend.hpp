@@ -49,9 +49,15 @@ struct BackendOptions {
   BackendKind kind = BackendKind::serial;
   int nlanes = 2;                  // threaded: slab-rank lanes
   EngineMode mode = EngineMode::async;
-  Wire wire = Wire::fp64;
+  // The halo wire defaults to FP32 under the threaded backend (Sec. 5.4.2:
+  // reduced-precision partition-boundary communication is the default at
+  // scale, monitored by the drift budget below). Serial execution has no
+  // wire; callers needing bitwise lane arithmetic (equivalence tests, the
+  // Poisson stiffness backend) pin Wire::fp64 explicitly.
+  Wire wire = Wire::fp32;
   CommModel model{};               // interconnect model for stats / injection
   bool inject_wire_delay = false;  // sleep out the modeled wire time on receive
+  double drift_budget = 1e-2;      // per-job demotion error budget (see EngineOptions)
 };
 
 /// The fused operator hook: Y = scale * (op X - c X) - zc Z, with the

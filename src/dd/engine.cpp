@@ -212,6 +212,10 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
   Lane& ln = *lanes_[r];
   if (job.fault_lane == r)
     throw std::runtime_error("dd::SlabEngine: injected lane fault");
+  // Per-job demotion error budget: snapshot the drift accumulators so the
+  // check below sees exactly this job's wire traffic.
+  const double n32 = ln.wire.drift_num, d32 = ln.wire.drift_den;
+  const double nbf = ln.wire.bf16_drift_num, dbf = ln.wire.bf16_drift_den;
   switch (job.kind) {
     case JobKind::apply: {
       obs::TraceSpan span("Engine-apply", "dd", ln.rank);
@@ -245,6 +249,26 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
     }
     default:
       break;
+  }
+  if (opt_.drift_budget > 0.0) {
+    // Hard-fail the job when the relative L2 drift of this job's demoted
+    // wire values exceeds the budget. `!(x <= b)` also trips on NaN — a
+    // poisoned wire (Inf/NaN contamination) must not pass silently. The
+    // throw rides the existing failure cascade: mailboxes are poisoned,
+    // every lane unblocks, and the driver rethrows after resetting.
+    const double r32 = (ln.wire.drift_den > d32)
+                           ? std::sqrt((ln.wire.drift_num - n32) / (ln.wire.drift_den - d32))
+                           : 0.0;
+    const double rbf =
+        (ln.wire.bf16_drift_den > dbf)
+            ? std::sqrt((ln.wire.bf16_drift_num - nbf) / (ln.wire.bf16_drift_den - dbf))
+            : 0.0;
+    const double worst = std::max(r32, rbf);
+    if (!(worst <= opt_.drift_budget))
+      throw std::runtime_error(std::string("dd::SlabEngine lane ") + std::to_string(r) +
+                               ": wire demotion drift " + std::to_string(worst) +
+                               " exceeds drift_budget " + std::to_string(opt_.drift_budget) +
+                               " in job '" + job_name(job.kind) + "'");
   }
 }
 
@@ -324,8 +348,10 @@ template <class T>
 void SlabEngine<T>::publish_job_metrics(int nsteps) {
   obs::MetricsRegistry& m = obs::MetricsRegistry::global();
   std::int64_t d64b = 0, d32b = 0, d64m = 0, d32m = 0;
+  std::int64_t dbfb = 0, dbfm = 0;
   double exposed = 0.0, modeled = 0.0, pack = 0.0;
   double drift_num = 0.0, drift_den = 0.0;
+  double bf_num = 0.0, bf_den = 0.0;
   for (auto& lp : lanes_) {
     Lane& ln = *lp;
     const std::int64_t dbytes = ln.comm.bytes - ln.comm_pub.bytes;
@@ -336,8 +362,12 @@ void SlabEngine<T>::publish_job_metrics(int nsteps) {
     d32b += ln.wire.fp32_bytes - ln.wire_pub.fp32_bytes;
     d64m += ln.wire.fp64_messages - ln.wire_pub.fp64_messages;
     d32m += ln.wire.fp32_messages - ln.wire_pub.fp32_messages;
+    dbfb += ln.wire.bf16_bytes - ln.wire_pub.bf16_bytes;
+    dbfm += ln.wire.bf16_messages - ln.wire_pub.bf16_messages;
     drift_num += ln.wire.drift_num;
     drift_den += ln.wire.drift_den;
+    bf_num += ln.wire.bf16_drift_num;
+    bf_den += ln.wire.bf16_drift_den;
     double wait = 0.0;
     for (int k = 0; k < nsteps && k < static_cast<int>(ln.steps.size()); ++k)
       wait += ln.steps[static_cast<std::size_t>(k)].wait;
@@ -359,13 +389,21 @@ void SlabEngine<T>::publish_job_metrics(int nsteps) {
   }
   m.counter_add("comm.wire.fp64.bytes", static_cast<double>(d64b));
   m.counter_add("comm.wire.fp32.bytes", static_cast<double>(d32b));
+  m.counter_add("comm.wire.bf16.bytes", static_cast<double>(dbfb));
   m.counter_add("comm.wire.fp64.messages", static_cast<double>(d64m));
   m.counter_add("comm.wire.fp32.messages", static_cast<double>(d32m));
+  m.counter_add("comm.wire.bf16.messages", static_cast<double>(dbfm));
   m.counter_add("comm.halo.exposed_wait_s", exposed);
   m.counter_add("comm.halo.modeled_s", modeled);
   m.counter_add("comm.halo.pack_s", pack);
-  if (drift_den > 0.0)
-    m.gauge_set("comm.wire.fp32.drift_rms", std::sqrt(drift_num / drift_den));
+  const double r32 = (drift_den > 0.0) ? std::sqrt(drift_num / drift_den) : 0.0;
+  const double rbf = (bf_den > 0.0) ? std::sqrt(bf_num / bf_den) : 0.0;
+  if (drift_den > 0.0) m.gauge_set("comm.wire.fp32.drift_rms", r32);
+  if (bf_den > 0.0) m.gauge_set("comm.wire.bf16.drift_rms", rbf);
+  // Fraction of the configured error budget consumed by the worst cumulative
+  // per-format drift (>= 1.0 would mean a job already hard-failed).
+  if (opt_.drift_budget > 0.0 && (drift_den > 0.0 || bf_den > 0.0))
+    m.gauge_set("comm.wire.drift_budget_used", std::max(r32, rbf) / opt_.drift_budget);
 }
 
 template <class T>
@@ -436,11 +474,45 @@ void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
   j.mixed = mixed;
   submit(j);
   collect_step_stats(1);
+  const index_t N = A.cols();
+  // Multi-lane mixed gram reduction over the FP32 gram wire: before the
+  // ordered sum, each lane's strictly-upper off-diagonal tiles round-trip
+  // through FP32 storage — the values genuinely pass through the reduced
+  // precision whose bytes lane_gram accounts in the allreduce payload. The
+  // gram wire is FP32 even under a BF16 halo wire (the paper's
+  // mixed-precision CholGS/RR communication is FP32); diagonal blocks travel
+  // in full precision, preserving the FP64 completion. Single-lane and FP64
+  // runs keep today's bitwise path. Drift feeds the same FP32 error-budget
+  // accumulators as the halo wire (lanes are parked here, so the driver may
+  // write their stats), and is published with this job's metrics below.
+  if (mixed && opt_.wire != Wire::fp64 && lanes_.size() > 1) {
+    const index_t nb = std::max<index_t>(1, std::min(mp_block, N));
+    la::ensure_scratch(gram_wire_, static_cast<std::size_t>(nb) * nb);
+    for (auto& lp : lanes_) {
+      Lane& ln = *lp;
+      la::Matrix<T>& G = ln.gram.get();
+      for (index_t J = 0; J < N; J += nb) {
+        const index_t nj = std::min(nb, N - J);
+        for (index_t I = 0; I < J; I += nb) {
+          const index_t ni = std::min(nb, N - I);
+          T* tile = G.data() + I + J * N;
+          la::demote_panel(tile, N, ni, nj, gram_wire_.data());
+          for (index_t jj = 0; jj < nj; ++jj)
+            for (index_t ii = 0; ii < ni; ++ii) {
+              T& x = tile[ii + jj * N];
+              const T rt = static_cast<T>(gram_wire_[ii + jj * ni]);
+              ln.wire.drift_num += scalar_traits<T>::abs2(x - rt);
+              ln.wire.drift_den += scalar_traits<T>::abs2(x);
+              x = rt;
+            }
+        }
+      }
+    }
+  }
   publish_job_metrics(1);
   // Deterministic-order reduction of the slab partials (lane 0..R-1, exactly
   // the ordered allreduce a reproducible distributed run pins down), then one
   // Hermitian completion over the summed upper block triangle.
-  const index_t N = A.cols();
   S.reshape(N, N);
   S.zero();
   for (auto& lp : lanes_) {
@@ -492,10 +564,14 @@ WireStats SlabEngine<T>::wire_stats() const {
   for (const auto& ln : lanes_) {
     total.fp64_bytes += ln->wire.fp64_bytes;
     total.fp32_bytes += ln->wire.fp32_bytes;
+    total.bf16_bytes += ln->wire.bf16_bytes;
     total.fp64_messages += ln->wire.fp64_messages;
     total.fp32_messages += ln->wire.fp32_messages;
+    total.bf16_messages += ln->wire.bf16_messages;
     total.drift_num += ln->wire.drift_num;
     total.drift_den += ln->wire.drift_den;
+    total.bf16_drift_num += ln->wire.bf16_drift_num;
+    total.bf16_drift_den += ln->wire.bf16_drift_den;
   }
   return total;
 }

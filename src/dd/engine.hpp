@@ -17,7 +17,8 @@
 //
 // Halo exchange goes through double-buffered HaloChannel mailboxes
 // (dd/mailbox.hpp) carrying the partition-interface *partial sums* of the
-// kinetic apply in the exact FP64/FP32 wire format of dd/exchange.hpp. Both
+// kinetic apply in the exact FP64/FP32/BF16 wire format of dd/exchange.hpp.
+// Both
 // execution modes run the same arithmetic in the same order — only the
 // position of the receive differs:
 //
@@ -85,6 +86,12 @@ struct EngineOptions {
   bool inject_wire_delay = false; // sleep out the modeled wire time on receive
   bool hamiltonian = true;        // mass/potential/boundary epilogue vs bare stiffness
   double coef_lap = 0.5;          // 0.5 = kinetic operator, 1.0 = Poisson stiffness
+  // Per-job demotion error budget: a job hard-fails when the relative L2
+  // drift of the values it packed through a reduced-precision wire exceeds
+  // this bound (<= 0 disables the check). The default admits FP32 halo drift
+  // (~1e-8) and BF16 drift (~1e-3) with a wide margin while still catching a
+  // numerically destroyed wire (NaN/Inf contamination, wrong scaling).
+  double drift_budget = 1e-2;
   std::array<double, 3> kpoint{0.0, 0.0, 0.0};
 };
 
@@ -97,16 +104,21 @@ struct EngineStepStats {
   double modeled = 0.0;
 };
 
-/// Wire traffic split by precision, plus the FP32 demotion drift
-/// accumulators (sum |x - fp32(x)|^2 / sum |x|^2 over every value packed
-/// through an FP32 wire slot) that feed the RunReport error-budget gauge.
+/// Wire traffic split by precision, plus the per-format demotion drift
+/// accumulators (sum |x - wire(x)|^2 / sum |x|^2 over every value packed
+/// through a reduced-precision wire slot) that feed the RunReport
+/// error-budget gauges and the per-job drift_budget hard-fail check.
 struct WireStats {
   std::int64_t fp64_bytes = 0;
   std::int64_t fp32_bytes = 0;
+  std::int64_t bf16_bytes = 0;
   std::int64_t fp64_messages = 0;
   std::int64_t fp32_messages = 0;
-  double drift_num = 0.0;
+  std::int64_t bf16_messages = 0;
+  double drift_num = 0.0;  // FP32 wire drift accumulators
   double drift_den = 0.0;
+  double bf16_drift_num = 0.0;
+  double bf16_drift_den = 0.0;
 };
 
 template <class T>
@@ -240,9 +252,7 @@ class SlabEngine {
   void close_lane_channels(Lane& ln);
 
   std::int64_t wire_bytes(index_t ncols) const {
-    const std::int64_t per =
-        (opt_.wire == Wire::fp32) ? sizeof(la::low_precision_t<T>) : sizeof(T);
-    return static_cast<std::int64_t>(plane_size_) * ncols * per;
+    return static_cast<std::int64_t>(plane_size_) * ncols * wire_value_bytes<T>(opt_.wire);
   }
 
   // --- hot data plane (runs on lane threads; allocation-free once warm) --
@@ -269,6 +279,21 @@ class SlabEngine {
       }
       ln.wire.fp32_bytes += bytes;
       ln.wire.fp32_messages += 1;
+    } else if (opt_.wire == Wire::bf16) {
+      la::bf16_t* w = nb.send->bufbf(s);
+      const index_t u = la::bf16_units<T>;
+      for (index_t j = 0; j < B; ++j) {
+        const T* y = Yl.col(j) + row0;
+        la::bf16_t* wj = w + j * P * u;
+        la::demote_bf16(y, wj, P);
+        for (index_t i = 0; i < P; ++i) {
+          const T rt = la::bf16_load<T>(wj + i * u);
+          ln.wire.bf16_drift_num += scalar_traits<T>::abs2(y[i] - rt);
+          ln.wire.bf16_drift_den += scalar_traits<T>::abs2(y[i]);
+        }
+      }
+      ln.wire.bf16_bytes += bytes;
+      ln.wire.bf16_messages += 1;
     } else {
       T* w = nb.send->buf64(s);
       for (index_t j = 0; j < B; ++j)
@@ -307,6 +332,16 @@ class SlabEngine {
       }
       ln.wire.fp32_bytes += wire_bytes(B);
       ln.wire.fp32_messages += 1;
+    } else if (nb.recv->wire() == Wire::bf16) {
+      const la::bf16_t* w = nb.recv->cbufbf(s);
+      const index_t u = la::bf16_units<T>;
+      for (index_t j = 0; j < B; ++j) {
+        T* y = Yl.col(j) + row0;
+        const la::bf16_t* wj = w + j * P * u;
+        for (index_t i = 0; i < P; ++i) y[i] += la::bf16_load<T>(wj + i * u);
+      }
+      ln.wire.bf16_bytes += wire_bytes(B);
+      ln.wire.bf16_messages += 1;
     } else {
       const T* w = nb.recv->cbuf64(s);
       for (index_t j = 0; j < B; ++j) {
@@ -570,6 +605,9 @@ class SlabEngine {
   std::vector<std::unique_ptr<HaloChannel<T>>> channels_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<EngineStepStats> step_stats_;
+  // Driver-side FP32 gram wire buffer for the multi-lane mixed reduction
+  // (grow-only; sized once per overlap shape in engine.cpp).
+  std::vector<la::low_precision_t<T>> gram_wire_;
 
   // Job broadcast protocol: the driver publishes a Job under mu_ and bumps
   // job_seq_; parked lanes copy it and run; the driver sleeps on cv_done_

@@ -33,7 +33,22 @@ struct CommStats {
   void clear() { *this = CommStats{}; }
 };
 
-enum class Wire { fp64, fp32 };
+enum class Wire { fp64, fp32, bf16 };
+
+/// Bytes one value of T occupies on the wire under each format. BF16 packs a
+/// real scalar into 2 bytes and a complex value into 4 (two bf16 units).
+template <class T>
+constexpr std::int64_t wire_value_bytes(Wire wire) {
+  switch (wire) {
+    case Wire::fp32:
+      return static_cast<std::int64_t>(sizeof(la::low_precision_t<T>));
+    case Wire::bf16:
+      return la::bf16_units<T> * static_cast<std::int64_t>(sizeof(la::bf16_t));
+    case Wire::fp64:
+      break;
+  }
+  return static_cast<std::int64_t>(sizeof(T));
+}
 
 struct CommModel {
   double bandwidth_bytes_per_s = 25e9;  // ~ one NIC link per rank pair
@@ -96,6 +111,15 @@ class BoundaryExchange {
       for (index_t j = 0; j < B; ++j) la::demote<T>(X.col(j) + lo, buf + j * rows, rows);
       for (index_t j = 0; j < B; ++j) la::promote<T>(buf + j * rows, X.col(j) + lo, rows);
       bytes = count * static_cast<index_t>(sizeof(L));
+    } else if (wire_ == Wire::bf16) {
+      wirebf_.resize(count * la::bf16_units<T>);
+      la::bf16_t* buf = wirebf_.data();
+      const index_t u = la::bf16_units<T>;
+      for (index_t j = 0; j < B; ++j)
+        la::demote_bf16<T>(X.col(j) + lo, buf + j * rows * u, rows);
+      for (index_t j = 0; j < B; ++j)
+        la::promote_bf16<T>(buf + j * rows * u, X.col(j) + lo, rows);
+      bytes = count * static_cast<index_t>(wire_value_bytes<T>(Wire::bf16));
     } else {
       wire64_.resize(count);
       T* buf = wire64_.data();
@@ -117,6 +141,7 @@ class BoundaryExchange {
   CommModel model_;
   CommStats stats_;
   std::vector<la::low_precision_t<T>> wire32_;
+  std::vector<la::bf16_t> wirebf_;
   std::vector<T> wire64_;
 };
 

@@ -3,7 +3,8 @@
 // Double-buffered halo mailbox: the transport of the threaded rank engine
 // (dd/engine.hpp). One HaloChannel is a single-producer/single-consumer FIFO
 // of fixed-size packets between two lanes (mutex + condition variable, two
-// slots). The payload passes through typed FP32 or FP64 wire storage — the
+// slots). The payload passes through typed FP64, FP32, or BF16 wire storage —
+// the
 // exact pack/wire/unpack path of dd/exchange.hpp, so the numerical effect of
 // single-precision boundary communication is identical in the real engine
 // and in the modeled BoundaryExchange.
@@ -56,6 +57,9 @@ class HaloChannel {
     for (Slot& s : slots_) {
       if (wire == Wire::fp32)
         la::ensure_scratch(s.w32, static_cast<std::size_t>(max_count));
+      else if (wire == Wire::bf16)
+        la::ensure_scratch(s.wbf,
+                           static_cast<std::size_t>(max_count) * la::bf16_units<T>);
       else
         la::ensure_scratch(s.w64, static_cast<std::size_t>(max_count));
     }
@@ -93,6 +97,7 @@ class HaloChannel {
   }
   T* buf64(int s) { return slots_[s].w64.data(); }
   L* buf32(int s) { return slots_[s].w32.data(); }
+  la::bf16_t* bufbf(int s) { return slots_[s].wbf.data(); }
 
   /// Publish a packed slot; it becomes receivable once the steady clock
   /// passes `ready` (the sender stamps now + modeled wire time).
@@ -126,6 +131,7 @@ class HaloChannel {
   }
   const T* cbuf64(int s) const { return slots_[s].w64.data(); }
   const L* cbuf32(int s) const { return slots_[s].w32.data(); }
+  const la::bf16_t* cbufbf(int s) const { return slots_[s].wbf.data(); }
 
   /// Receiver: hand the slot back to the sender.
   void release(int s) {
@@ -143,6 +149,7 @@ class HaloChannel {
   struct Slot {
     std::vector<T> w64;
     std::vector<L> w32;
+    std::vector<la::bf16_t> wbf;
     Clock::time_point ready{};
     bool full = false;
   };

@@ -333,8 +333,14 @@ ScfResult KohnShamDFT<T>::solve() {
     solvers_[ik]->set_backend(backends_[ik].get());
   }
   // Poisson stiffness backend: the EP step's PCG operator runs under the
-  // same execution model as the eigensolver stages.
-  es_backend_ = dd::make_stiffness_backend(*dofh_, opt_.backend, poisson_.stiffness());
+  // same execution model as the eigensolver stages, but with the wire pinned
+  // to FP64: a reduced-precision stiffness apply caps the achievable PCG
+  // residual near the wire's rounding floor (~1e-8 for FP32), above the
+  // 1e-9 Poisson tolerance — the solve would stagnate and burn its full
+  // iteration budget every EP step instead of converging.
+  dd::BackendOptions es_opt = opt_.backend;
+  es_opt.wire = dd::Wire::fp64;
+  es_backend_ = dd::make_stiffness_backend(*dofh_, es_opt, poisson_.stiffness());
   poisson_.set_stiffness_apply(
       [be = es_backend_.get()](const std::vector<double>& x, std::vector<double>& y) {
         be->apply(x, y);

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <complex>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "base/defs.hpp"
@@ -47,6 +49,72 @@ template <class T>
 void promote(const low_precision_t<T>* src, T* dst, index_t n) {
 #pragma omp parallel for if (n > 8192)
   for (index_t i = 0; i < n; ++i) dst[i] = static_cast<T>(src[i]);
+}
+
+/// BF16 wire scalar: the top 16 bits of an IEEE-754 binary32, stored in a
+/// uint16 (typed storage, same rationale as the FP32 wire buffers — no raw
+/// byte reinterpretation). BF16 keeps FP32's 8-bit exponent, so the dynamic
+/// range of boundary values survives; only the mantissa shrinks to 7 bits.
+using bf16_t = std::uint16_t;
+
+/// Round-to-nearest-even demotion on the float bit pattern. NaNs are quieted
+/// (the rounding increment could otherwise carry a signalling NaN into an
+/// infinity bit pattern).
+inline bf16_t bf16_from_float(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  if ((u & 0x7fffffffu) > 0x7f800000u) return static_cast<bf16_t>((u >> 16) | 0x0040u);
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<bf16_t>(u >> 16);
+}
+
+inline float bf16_to_float(bf16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+/// BF16 units per wire value: real scalars travel as one uint16, complex as
+/// two (re, im) — 2 bytes/double and 4 bytes/complex<double> on the wire.
+template <class T>
+inline constexpr index_t bf16_units = scalar_traits<T>::is_complex ? 2 : 1;
+
+template <class T>
+void demote_bf16(const T* src, bf16_t* dst, index_t n) {
+#pragma omp parallel for if (n > 8192)
+  for (index_t i = 0; i < n; ++i) {
+    if constexpr (scalar_traits<T>::is_complex) {
+      dst[2 * i] = bf16_from_float(static_cast<float>(src[i].real()));
+      dst[2 * i + 1] = bf16_from_float(static_cast<float>(src[i].imag()));
+    } else {
+      dst[i] = bf16_from_float(static_cast<float>(src[i]));
+    }
+  }
+}
+
+/// Load one value of T from its bf16 wire units (re[, im]).
+template <class T>
+inline T bf16_load(const bf16_t* src) {
+  if constexpr (scalar_traits<T>::is_complex) {
+    using R = typename scalar_traits<T>::real_type;
+    return T(static_cast<R>(bf16_to_float(src[0])), static_cast<R>(bf16_to_float(src[1])));
+  } else {
+    return static_cast<T>(bf16_to_float(src[0]));
+  }
+}
+
+template <class T>
+void promote_bf16(const bf16_t* src, T* dst, index_t n) {
+#pragma omp parallel for if (n > 8192)
+  for (index_t i = 0; i < n; ++i) {
+    if constexpr (scalar_traits<T>::is_complex) {
+      dst[i] = T(static_cast<typename scalar_traits<T>::real_type>(bf16_to_float(src[2 * i])),
+                 static_cast<typename scalar_traits<T>::real_type>(bf16_to_float(src[2 * i + 1])));
+    } else {
+      dst[i] = static_cast<T>(bf16_to_float(src[i]));
+    }
+  }
 }
 
 /// Demote a rows x cols panel with leading dimension ld into a compact

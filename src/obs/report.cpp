@@ -245,10 +245,14 @@ RunReport build_run_report(const std::string& label, double wall_s, const TraceR
   r.comm.fp64.messages = lookup(snap.counters, "comm.wire.fp64.messages");
   r.comm.fp32.bytes = lookup(snap.counters, "comm.wire.fp32.bytes");
   r.comm.fp32.messages = lookup(snap.counters, "comm.wire.fp32.messages");
+  r.comm.bf16.bytes = lookup(snap.counters, "comm.wire.bf16.bytes");
+  r.comm.bf16.messages = lookup(snap.counters, "comm.wire.bf16.messages");
   r.comm.exposed_wait_s = lookup(snap.counters, "comm.halo.exposed_wait_s");
   r.comm.modeled_s = lookup(snap.counters, "comm.halo.modeled_s");
   r.comm.pack_s = lookup(snap.counters, "comm.halo.pack_s");
   r.comm.fp32_drift_rms = lookup(snap.gauges, "comm.wire.fp32.drift_rms");
+  r.comm.bf16_drift_rms = lookup(snap.gauges, "comm.wire.bf16.drift_rms");
+  r.comm.drift_budget_used = lookup(snap.gauges, "comm.wire.drift_budget_used");
   {
     std::map<int, CommLedger::LaneLine> lanes;
     for (const auto& [key, value] : snap.counters) {
@@ -335,10 +339,14 @@ std::string run_report_json(const RunReport& r) {
      << ",\"messages\":" << json_num(r.comm.fp64.messages)
      << "},\"fp32\":{\"bytes\":" << json_num(r.comm.fp32.bytes)
      << ",\"messages\":" << json_num(r.comm.fp32.messages)
+     << "},\"bf16\":{\"bytes\":" << json_num(r.comm.bf16.bytes)
+     << ",\"messages\":" << json_num(r.comm.bf16.messages)
      << "}},\"halo\":{\"exposed_wait_s\":" << json_num(r.comm.exposed_wait_s)
      << ",\"modeled_s\":" << json_num(r.comm.modeled_s)
      << ",\"pack_s\":" << json_num(r.comm.pack_s)
-     << "},\"fp32_drift_rms\":" << json_num(r.comm.fp32_drift_rms) << ",\"lanes\":[";
+     << "},\"fp32_drift_rms\":" << json_num(r.comm.fp32_drift_rms)
+     << ",\"bf16_drift_rms\":" << json_num(r.comm.bf16_drift_rms)
+     << ",\"drift_budget_used\":" << json_num(r.comm.drift_budget_used) << ",\"lanes\":[";
   first = true;
   for (const auto& line : r.comm.lanes) {
     if (!first) os << ',';
@@ -452,6 +460,10 @@ bool parse_run_report(const std::string& text, RunReport& out) {
         out.comm.fp32.bytes = num_at(*p, "bytes");
         out.comm.fp32.messages = num_at(*p, "messages");
       }
+      if (const JsonValue* p = wire->find("bf16")) {
+        out.comm.bf16.bytes = num_at(*p, "bytes");
+        out.comm.bf16.messages = num_at(*p, "messages");
+      }
     }
     if (const JsonValue* halo = comm->find("halo"); halo && halo->is_object()) {
       out.comm.exposed_wait_s = num_at(*halo, "exposed_wait_s");
@@ -459,6 +471,8 @@ bool parse_run_report(const std::string& text, RunReport& out) {
       out.comm.pack_s = num_at(*halo, "pack_s");
     }
     out.comm.fp32_drift_rms = num_at(*comm, "fp32_drift_rms");
+    out.comm.bf16_drift_rms = num_at(*comm, "bf16_drift_rms");
+    out.comm.drift_budget_used = num_at(*comm, "drift_budget_used");
     if (const JsonValue* lanes = comm->find("lanes"); lanes && lanes->is_array())
       for (const auto& l : lanes->arr) {
         CommLedger::LaneLine line;

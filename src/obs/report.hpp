@@ -60,10 +60,13 @@ struct CommLedger {
   };
   WireLine fp64;
   WireLine fp32;
+  WireLine bf16;
   double exposed_wait_s = 0.0;  // halo wait the compute could not hide
   double modeled_s = 0.0;       // modeled wire time for the same traffic
   double pack_s = 0.0;          // demote/copy time into wire slots
   double fp32_drift_rms = 0.0;  // RMS relative demotion error (error budget)
+  double bf16_drift_rms = 0.0;  // same, BF16 wire
+  double drift_budget_used = 0.0;  // worst drift RMS / configured budget
   struct LaneLine {
     int lane = 0;
     double bytes = 0.0;

@@ -2,7 +2,8 @@
 """End-to-end RunReport attribution test (the ISSUE acceptance scenario).
 
 Runs the quickstart twice on the threaded 4-lane backend in sync engine mode
-— once clean, once with the injected wire delay, the FP32 wire, and a
+— once clean on the FP64 wire (pinned: the threaded default is now FP32),
+once with the injected wire delay, the FP32 wire, and a
 throttled modeled bandwidth — then runs tools/report_diff.py on the two
 RunReports and asserts the differ attributes the slowdown to the
 halo-exchange spans (CF-halo). Also checks the acceptance invariants of the
@@ -30,7 +31,7 @@ def main() -> int:
         return 2
     quickstart, report_diff = sys.argv[1], sys.argv[2]
 
-    run_quickstart(quickstart, "e2e_fast.json", {})
+    run_quickstart(quickstart, "e2e_fast.json", {"DFTFE_WIRE": "fp64"})
     run_quickstart(quickstart, "e2e_slow.json",
                    {"DFTFE_INJECT_WIRE_DELAY": "1", "DFTFE_WIRE": "fp32",
                     "DFTFE_WIRE_BW": "2e7"})
@@ -63,6 +64,8 @@ def main() -> int:
     assert slow["comm"]["wire"]["fp32"]["bytes"] > comm["wire"]["fp32"]["bytes"], \
         "FP32 wire run did not shift halo traffic to FP32"
     assert slow["comm"]["fp32_drift_rms"] > 0, "FP32 wire drift gauge not populated"
+    assert 0 < slow["comm"]["drift_budget_used"] < 1, \
+        f"drift budget gauge out of range: {slow['comm']['drift_budget_used']}"
 
     print("report_diff_e2e OK")
     return 0

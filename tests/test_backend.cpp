@@ -93,6 +93,10 @@ TEST(BackendEquivalence, AllStagesSerialVsThreaded) {
   BackendOptions topt;
   topt.kind = BackendKind::threaded;
   topt.nlanes = 3;
+  // The 1e-12 gates below measure the slab decomposition itself, so pin the
+  // wire to FP64 (the threaded default is FP32; its looser agreement is
+  // covered by BackendScf.Fp32WireMixedGramScfEnergyWithinBudget).
+  topt.wire = Wire::fp64;
   auto threaded = make_backend<double>(
       dofh, topt,
       [&H](const la::Matrix<double>& A, la::Matrix<double>& B, double c, double s,
@@ -164,6 +168,7 @@ TEST(BackendEquivalence, ComplexKpointStages) {
   BackendOptions topt = sopt;
   topt.kind = BackendKind::threaded;
   topt.nlanes = 2;
+  topt.wire = Wire::fp64;  // 1e-12 gates: see AllStagesSerialVsThreaded
   auto threaded = make_backend<complex_t>(
       dofh, topt,
       [&H](const la::Matrix<complex_t>& A, la::Matrix<complex_t>& B, double c, double s,
@@ -198,6 +203,7 @@ TEST(BackendStiffness, SerialIsBitwiseDirectAndThreadedAgrees) {
   BackendOptions topt;
   topt.kind = BackendKind::threaded;
   topt.nlanes = 2;
+  topt.wire = Wire::fp64;  // 1e-12 gates: see AllStagesSerialVsThreaded
   auto threaded = make_stiffness_backend(dofh, topt, K);
 
   std::vector<double> x(dofh.ndofs());
@@ -231,13 +237,15 @@ struct ScfPair {
 ScfPair run_scf_pair(const fe::DofHandler& dofh, const ks::ScfOptions& base,
                      std::shared_ptr<xc::XCFunctional> xcf, double nelec,
                      const std::vector<ks::GaussianCharge>& nuclei,
-                     const std::vector<double>& vext, int nlanes) {
+                     const std::vector<double>& vext, int nlanes,
+                     Wire wire = Wire::fp64) {
   ScfPair out;
   for (int pass = 0; pass < 2; ++pass) {
     ks::ScfOptions opt = base;
     if (pass == 1) {
       opt.backend.kind = BackendKind::threaded;
       opt.backend.nlanes = nlanes;
+      opt.backend.wire = wire;
     }
     ks::KohnShamDFT<double> dft(dofh, xcf, {}, opt);
     if (!nuclei.empty())
@@ -314,6 +322,73 @@ TEST(BackendScf, LdaAtomWithHartreeSerialVsThreadedEnergy) {
   for (std::size_t i = 0; i < pair.rho_serial.size(); ++i)
     rho_diff = std::max(rho_diff, std::abs(pair.rho_threaded[i] - pair.rho_serial[i]));
   EXPECT_LT(rho_diff, 1e-7);
+}
+
+TEST(BackendScf, Fp32WireMixedGramScfEnergyWithinBudget) {
+  // The mixed-precision default path end to end (tentpole): FP32 halo wire,
+  // FP32 off-diagonal CholGS/RR blocks with the multi-lane gram reduction
+  // round-tripping through the FP32 gram wire. A small mp_block makes the
+  // off-diagonal tiles real at 6 states. The acceptance gate: the threaded
+  // mixed-precision SCF lands on the serial (FP64-reference) total energy to
+  // <= 1e-8 Ha — the paper's claim that reduced-precision communication and
+  // subspace blocks do not perturb the result beyond discretization error.
+  const double L = 10.0;
+  const fe::Mesh mesh = fe::make_uniform_mesh(L, 4, false);
+  const fe::DofHandler dofh(mesh, 3);
+  ks::ScfOptions opt;
+  opt.include_hartree = false;
+  opt.temperature = 1e-3;
+  opt.nstates = 6;
+  opt.max_iterations = 25;
+  opt.first_iteration_cycles = 6;
+  opt.mp_block = 2;
+  std::vector<double> v(dofh.ndofs());
+  for (index_t g = 0; g < dofh.ndofs(); ++g) {
+    const auto p = dofh.dof_point(g);
+    const double r2 = (p[0] - L / 2) * (p[0] - L / 2) + (p[1] - L / 2) * (p[1] - L / 2) +
+                      (p[2] - L / 2) * (p[2] - L / 2);
+    v[g] = 0.5 * r2;
+  }
+  const auto pair = run_scf_pair(dofh, opt, nullptr, 2.0, {}, v, 4, Wire::fp32);
+  EXPECT_TRUE(pair.serial.converged);
+  EXPECT_TRUE(pair.threaded.converged);
+  EXPECT_NEAR(pair.threaded.energy.total, pair.serial.energy.total, 1e-8);
+  EXPECT_NEAR(pair.threaded.energy.band, pair.serial.energy.band, 1e-8);
+}
+
+TEST(BackendThreaded, DriftBudgetHardFailsJobAndEngineRecovers) {
+  // The per-job drift error-budget monitor: an absurdly tight budget makes
+  // the FP32 halo demotion error exceed it, the lane job must hard-fail with
+  // a diagnostic naming the budget, the failure must cascade through the
+  // poisoned mailboxes to the driver, and the engine must stay usable (the
+  // same recovery contract as debug_fault).
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  EngineOptions eopt;
+  eopt.nlanes = 2;
+  eopt.wire = Wire::fp32;
+  eopt.drift_budget = 1e-12;  // below FP32 rounding: every halo job overdrafts
+  ThreadedBackend<double> be(dofh, eopt);
+  be.set_potential(std::vector<double>(dofh.ndofs(), -0.3));
+
+  la::Matrix<double> X(dofh.ndofs(), 3), Y;
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.37 * i);
+  try {
+    be.apply(X, Y);
+    ADD_FAILURE() << "drift budget overdraft did not throw";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("drift_budget"), std::string::npos) << what;
+  }
+
+  // Disabling the budget on a fresh engine with the same wire succeeds, and
+  // the FP32 result still agrees with a FP64-wire reference to FP32 rounding.
+  EngineOptions ok = eopt;
+  ok.drift_budget = 0.0;
+  ThreadedBackend<double> be2(dofh, ok);
+  be2.set_potential(std::vector<double>(dofh.ndofs(), -0.3));
+  ASSERT_NO_THROW(be2.apply(X, Y));
+  for (index_t i = 0; i < Y.size(); ++i) ASSERT_TRUE(std::isfinite(Y.data()[i]));
 }
 
 TEST(BackendThreaded, SecondSubmitWhileJobInFlightIsDiagnosedLoudly) {

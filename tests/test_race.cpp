@@ -470,6 +470,43 @@ TEST(RaceEngine, ConcurrentLaneStartupShutdown) {
   });
 }
 
+TEST(RaceEngine, Bf16WireLaneChurn) {
+  // Same lifecycle churn as ConcurrentLaneStartupShutdown but on the BF16
+  // halo wire: the per-lane bf16 scratch buffers, the demote/promote pack
+  // loops, and the per-job drift-budget bookkeeping must be race-free under
+  // repeated lane startup/shutdown. Tolerance is loose — BF16 rounds the
+  // interface-plane contributions to ~2^-8 relative — but the result must
+  // stay within that bound of the undecomposed reference every cycle.
+  const fe::Mesh mesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler dofh(mesh, 2);
+  std::vector<double> v(dofh.ndofs());
+  for (index_t i = 0; i < dofh.ndofs(); ++i) v[i] = -0.3 * std::cos(0.11 * i);
+  la::Matrix<double> X(dofh.ndofs(), 3);
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.29 * i);
+  ks::Hamiltonian<double> href(dofh);
+  href.set_potential(v);
+  la::Matrix<double> Yref;
+  href.apply(X, Yref);
+  double ymax = 0.0;
+  for (index_t i = 0; i < Yref.size(); ++i) ymax = std::max(ymax, std::abs(Yref.data()[i]));
+
+  run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < 6; ++i) {
+      dd::EngineOptions opt;
+      opt.nlanes = 2 + (i + t) % 3;
+      opt.mode = (i % 2 == 0) ? dd::EngineMode::async : dd::EngineMode::sync;
+      opt.wire = dd::Wire::bf16;
+      dd::SlabEngine<double> eng(dofh, opt);
+      if (i % 3 == 2) continue;  // startup immediately followed by shutdown
+      eng.set_potential(v);
+      la::Matrix<double> Y;
+      eng.apply(X, Y);
+      ASSERT_LT(la::max_abs_diff(Y, Yref), 0.02 * ymax);
+      ASSERT_GT(eng.wire_stats().bf16_bytes, 0);
+    }
+  });
+}
+
 TEST(RaceEngine, LaneFaultPropagationUnderContention) {
   // Each thread owns an engine and alternates injected lane faults with
   // real jobs: the fault must surface on the submitting thread as an

@@ -81,6 +81,10 @@ TEST(RunReport, EmitParseReEmitIsByteIdentical) {
   }
   m.counter_add("comm.wire.fp64.bytes", 1024.0);
   m.counter_add("comm.wire.fp32.bytes", 512.0);
+  m.counter_add("comm.wire.bf16.bytes", 256.0);
+  m.counter_add("comm.wire.bf16.messages", 2.0);
+  m.gauge_set("comm.wire.bf16.drift_rms", 1.5e-3);
+  m.gauge_set("comm.wire.drift_budget_used", 0.15);
   m.counter_add("comm.lane0.bytes", 768.0);
   m.gauge_set("mem.pool.fp64.highwater_bytes", 4096.0);
   m.gauge_set("mem.lane0.highwater_bytes", 2048.0);
@@ -101,6 +105,10 @@ TEST(RunReport, EmitParseReEmitIsByteIdentical) {
   EXPECT_EQ(r2.label, "roundtrip");
   EXPECT_DOUBLE_EQ(r2.comm.fp64.bytes, 1024.0);
   EXPECT_DOUBLE_EQ(r2.comm.fp32.bytes, 512.0);
+  EXPECT_DOUBLE_EQ(r2.comm.bf16.bytes, 256.0);
+  EXPECT_DOUBLE_EQ(r2.comm.bf16.messages, 2.0);
+  EXPECT_DOUBLE_EQ(r2.comm.bf16_drift_rms, 1.5e-3);
+  EXPECT_DOUBLE_EQ(r2.comm.drift_budget_used, 0.15);
   ASSERT_EQ(r2.convergence.series.count("scf.residual"), 1u);
   EXPECT_EQ(r2.convergence.series.at("scf.residual").size(), 2u);
   EXPECT_EQ(r2.convergence.iterations, 2);
@@ -188,6 +196,70 @@ TEST(RunReport, CommLedgerMatchesHandComputedHaloBytes) {
   ASSERT_EQ(r.comm.lanes.size(), 2u);
   EXPECT_EQ(r.comm.lanes[0].lane, 0);
   EXPECT_EQ(r.comm.lanes[1].lane, 1);
+  m.clear();
+}
+
+TEST(RunReport, CommLedgerMatchesHandComputedBf16HaloBytes) {
+  // BF16 wire variant of the ledger exactness test: halo packets travel at
+  // 2 bytes per double (quarter of FP64), the drift gauge lands in the BF16
+  // half-ulp range, and the mixed Gram allreduce still accounts FP64 diagonal
+  // + FP32 off-diagonal payloads (the gram wire stays FP32 under BF16 halos).
+  const auto mesh = fe::make_uniform_mesh(6.0, 4, false);
+  fe::DofHandler dofh(mesh, 3);
+  dd::EngineOptions opt;
+  opt.nlanes = 2;
+  opt.hamiltonian = false;
+  opt.coef_lap = 1.0;
+  opt.wire = dd::Wire::bf16;
+  opt.drift_budget = 1.0;  // BF16 drift is ~4e-3 RMS; keep headroom
+  dd::SlabEngine<double> eng(dofh, opt);
+
+  auto& m = obs::MetricsRegistry::global();
+  m.clear();
+
+  const index_t ncols = 5;
+  la::Matrix<double> X(dofh.ndofs(), ncols), Y;
+  for (index_t i = 0; i < X.size(); ++i) X.data()[i] = std::sin(0.37 * i) * 1e3;
+  eng.apply(X, Y);
+
+  const std::int64_t plane = dofh.naxis(0) * dofh.naxis(1);
+  const std::int64_t bytes =
+      4 * plane * ncols * dd::wire_value_bytes<double>(dd::Wire::bf16);
+  const auto ws = eng.wire_stats();
+  EXPECT_EQ(ws.bf16_bytes, bytes);
+  EXPECT_EQ(ws.bf16_messages, 4);
+  EXPECT_EQ(ws.fp32_bytes, 0);
+  EXPECT_EQ(ws.fp64_bytes, 0);
+  EXPECT_EQ(eng.comm_stats().bytes, bytes);
+  EXPECT_GT(ws.bf16_drift_num, 0.0);
+
+  EXPECT_DOUBLE_EQ(m.counter("comm.wire.bf16.bytes"), static_cast<double>(bytes));
+  EXPECT_DOUBLE_EQ(m.counter("comm.wire.bf16.messages"), 4.0);
+  EXPECT_DOUBLE_EQ(m.counter("comm.wire.fp32.bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(m.counter("comm.wire.fp64.bytes"), 0.0);
+  const double drift = m.gauge("comm.wire.bf16.drift_rms");
+  EXPECT_GT(drift, 1e-5);               // coarser than any FP32 rounding...
+  EXPECT_LT(drift, std::ldexp(1.0, -8));  // ...but within the half-ulp bound
+  EXPECT_DOUBLE_EQ(m.gauge("comm.wire.drift_budget_used"), drift / opt.drift_budget);
+
+  // Mixed Gram under the BF16 halo wire: allreduce payload is FP64 diagonal
+  // blocks + FP32 off-diagonal triangle, exactly as on the FP32 wire.
+  const index_t N = 6;
+  la::Matrix<double> A(dofh.ndofs(), N), S;
+  for (index_t i = 0; i < A.size(); ++i) A.data()[i] = std::cos(0.23 * i);
+  eng.overlap(A, A, S, /*mp_block=*/2, /*mixed=*/true);
+  const auto ws2 = eng.wire_stats();
+  const std::int64_t diag = 3 * 2 * 2;
+  const std::int64_t off = N * N - diag;
+  EXPECT_EQ(ws2.fp64_bytes, 2 * diag * static_cast<std::int64_t>(sizeof(double)));
+  EXPECT_EQ(ws2.fp32_bytes, 2 * off * static_cast<std::int64_t>(sizeof(float)));
+  EXPECT_EQ(ws2.bf16_bytes, bytes);  // halo traffic unchanged by the overlap
+
+  const obs::RunReport r = obs::build_run_report("bf16-ledger");
+  EXPECT_DOUBLE_EQ(r.comm.bf16.bytes, static_cast<double>(ws2.bf16_bytes));
+  EXPECT_DOUBLE_EQ(r.comm.bf16.messages, 4.0);
+  EXPECT_GT(r.comm.bf16_drift_rms, 0.0);
+  EXPECT_GT(r.comm.drift_budget_used, 0.0);
   m.clear();
 }
 

@@ -123,10 +123,11 @@ TRACE_SPAN_RE = re.compile(r"\bTraceSpan\b[^(;]*\(\s*\"([^\"]*)\"")
 # comm/memory ledgers are parsed from, plus the per-lane / per-pool prefixes
 # whose suffix is dynamic (lane index, pool name).
 METRIC_VOCAB = {
-    "comm.wire.fp64.bytes", "comm.wire.fp32.bytes",
-    "comm.wire.fp64.messages", "comm.wire.fp32.messages",
+    "comm.wire.fp64.bytes", "comm.wire.fp32.bytes", "comm.wire.bf16.bytes",
+    "comm.wire.fp64.messages", "comm.wire.fp32.messages", "comm.wire.bf16.messages",
     "comm.halo.exposed_wait_s", "comm.halo.modeled_s", "comm.halo.pack_s",
-    "comm.wire.fp32.drift_rms",
+    "comm.wire.fp32.drift_rms", "comm.wire.bf16.drift_rms",
+    "comm.wire.drift_budget_used",
     "mem.workspace.allocations", "mem.workspace.bytes_allocated",
     "mem.workspace.checkouts",
 }

@@ -72,14 +72,16 @@ def diff_scalar(label: str, base: float, cur: float, unit: str = "") -> str:
 
 def diff_comm(base: dict, cur: dict) -> None:
     print("comm ledger:")
-    for prec in ("fp64", "fp32"):
-        b, c = base["wire"][prec], cur["wire"][prec]
+    empty = {"bytes": 0, "messages": 0}
+    for prec in ("fp64", "fp32", "bf16"):
+        b, c = base["wire"].get(prec, empty), cur["wire"].get(prec, empty)
         print(f"  wire.{prec}: {fmt_bytes(b['bytes'])} / {b['messages']} msgs -> "
               f"{fmt_bytes(c['bytes'])} / {c['messages']} msgs "
               f"(bytes {c['bytes'] - b['bytes']:+d}, msgs {c['messages'] - b['messages']:+d})")
     for key in ("exposed_wait_s", "modeled_s", "pack_s"):
         print(diff_scalar(f"halo.{key}", base["halo"][key], cur["halo"][key], " s"))
-    print(diff_scalar("fp32_drift_rms", base["fp32_drift_rms"], cur["fp32_drift_rms"]))
+    for key in ("fp32_drift_rms", "bf16_drift_rms", "drift_budget_used"):
+        print(diff_scalar(key, base.get(key, 0.0), cur.get(key, 0.0)))
     blanes = {l["lane"]: l for l in base.get("lanes", [])}
     clanes = {l["lane"]: l for l in cur.get("lanes", [])}
     for lane in sorted(set(blanes) | set(clanes)):

@@ -17,6 +17,23 @@ template <class T>
 ThreadedBackend<T>::ThreadedBackend(const fe::DofHandler& dofh, EngineOptions opt)
     : hamiltonian_(opt.hamiltonian), engine_(dofh, opt) {}
 
+/// Forward the backend-level knobs onto the engine's lane protocol. Every
+/// field below lands on behavior the model checker verifies (tools/
+/// model_check): wire/model stamp the packets the mailbox publishes,
+/// drift_budget arms the mid-exchange hard-fail whose poison cascade the
+/// drift_fail scenario explores, and mode selects the sync/async bodies the
+/// checker proves bitwise-equal across all schedules.
+static EngineOptions engine_options_from(const BackendOptions& opt) {
+  EngineOptions eopt;
+  eopt.nlanes = opt.nlanes;
+  eopt.mode = opt.mode;
+  eopt.wire = opt.wire;
+  eopt.model = opt.model;
+  eopt.inject_wire_delay = opt.inject_wire_delay;
+  eopt.drift_budget = opt.drift_budget;
+  return eopt;
+}
+
 template <class T>
 std::unique_ptr<ExecBackend<T>> make_backend(
     const fe::DofHandler& dofh, const BackendOptions& opt, FusedApplyFn<T> serial_apply,
@@ -25,13 +42,7 @@ std::unique_ptr<ExecBackend<T>> make_backend(
   if (opt.kind == BackendKind::serial)
     return std::make_unique<SerialBackend<T>>(dofh, std::move(serial_apply),
                                               std::move(serial_set_potential));
-  EngineOptions eopt;
-  eopt.nlanes = opt.nlanes;
-  eopt.mode = opt.mode;
-  eopt.wire = opt.wire;
-  eopt.model = opt.model;
-  eopt.inject_wire_delay = opt.inject_wire_delay;
-  eopt.drift_budget = opt.drift_budget;
+  EngineOptions eopt = engine_options_from(opt);
   eopt.hamiltonian = true;
   eopt.coef_lap = 0.5;
   eopt.kpoint = kpoint;
@@ -65,13 +76,7 @@ std::unique_ptr<ExecBackend<double>> make_stiffness_backend(
     return std::make_unique<SerialBackend<double>>(dofh, std::move(fused), nullptr,
                                                    std::move(vec));
   }
-  EngineOptions eopt;
-  eopt.nlanes = opt.nlanes;
-  eopt.mode = opt.mode;
-  eopt.wire = opt.wire;
-  eopt.model = opt.model;
-  eopt.inject_wire_delay = opt.inject_wire_delay;
-  eopt.drift_budget = opt.drift_budget;
+  EngineOptions eopt = engine_options_from(opt);
   eopt.hamiltonian = false;   // identity epilogue: y = K x
   eopt.coef_lap = 1.0;        // Poisson stiffness scaling
   return std::make_unique<ThreadedBackend<double>>(dofh, eopt);

@@ -32,7 +32,7 @@ SlabEngine<T>::SlabEngine(const fe::DofHandler& dofh, EngineOptions opt)
 template <class T>
 SlabEngine<T>::~SlabEngine() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sched::LockGuard lk(mu_);
     job_ = Job{};
     job_.kind = JobKind::stop;
     ++job_seq_;
@@ -170,7 +170,7 @@ void SlabEngine<T>::lane_main(int r) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      sched::UniqueLock lk(mu_);
       cv_job_.wait(lk, [&] { return job_seq_ != seen; });
       seen = job_seq_;
       job = job_;
@@ -180,7 +180,7 @@ void SlabEngine<T>::lane_main(int r) {
       run_job(r, job);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        sched::LockGuard lk(mu_);
         if (!first_error_) first_error_ = std::current_exception();
       }
       // Poison this lane's mailboxes so neighbors blocked on us unblock and
@@ -189,7 +189,7 @@ void SlabEngine<T>::lane_main(int r) {
       close_lane_channels(*lanes_[r]);
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sched::LockGuard lk(mu_);
       if (++done_count_ == static_cast<int>(lanes_.size())) cv_done_.notify_all();
     }
   }
@@ -288,7 +288,7 @@ const char* SlabEngine<T>::job_name(JobKind kind) {
 template <class T>
 void SlabEngine<T>::submit(Job job) {
   job.mode = opt_.mode;
-  std::unique_lock<std::mutex> lk(mu_);
+  sched::UniqueLock lk(mu_);
   if (job_active_) {
     // A second submit while a job is in flight would overwrite job_ and
     // done_count_ under the lanes, turning into a silent mailbox deadlock.

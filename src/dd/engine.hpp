@@ -65,6 +65,7 @@
 #include "dd/exchange.hpp"
 #include "dd/mailbox.hpp"
 #include "dd/partition.hpp"
+#include "dd/schedule.hpp"
 #include "fe/cell_ops.hpp"
 #include "fe/dofs.hpp"
 #include "fe/mesh.hpp"
@@ -252,7 +253,7 @@ class SlabEngine {
   void close_lane_channels(Lane& ln);
 
   std::int64_t wire_bytes(index_t ncols) const {
-    return static_cast<std::int64_t>(plane_size_) * ncols * wire_value_bytes<T>(opt_.wire);
+    return halo_packet_bytes<T>(static_cast<std::int64_t>(plane_size_) * ncols, opt_.wire);
   }
 
   // --- hot data plane (runs on lane threads; allocation-free once warm) --
@@ -615,9 +616,12 @@ class SlabEngine {
   // published to the driver by that same mutex). job_active_ guards against
   // a second submit while a job is in flight: overwriting job_/done_count_
   // mid-job would silently deadlock the mailboxes, so it is a hard
-  // diagnostic error instead (named after both jobs).
-  std::mutex mu_;
-  std::condition_variable cv_job_, cv_done_;
+  // diagnostic error instead (named after both jobs). The primitives come
+  // from the dd/schedule.hpp seam — std types in production, cooperative
+  // model-checked types under DFTFE_MODEL_CHECK — so the engine handoff is
+  // explorable by the same checker that owns the mailbox schedules.
+  sched::Mutex mu_;
+  sched::CondVar cv_job_, cv_done_;
   Job job_;
   std::uint64_t job_seq_ = 0;
   int done_count_ = 0;

@@ -50,6 +50,17 @@ constexpr std::int64_t wire_value_bytes(Wire wire) {
   return static_cast<std::int64_t>(sizeof(T));
 }
 
+/// Bytes a halo packet of `values` values of T occupies on the wire. The
+/// single accounting formula shared by the modeled BoundaryExchange below and
+/// the threaded engine's HaloChannel packets (dd/mailbox.hpp) — keeping the
+/// two data paths' byte/message ledgers and modeled ready-stamps comparable.
+/// tools/model_check sizes its scenario packets through the same channel API,
+/// so the protocol it verifies carries exactly these packets.
+template <class T>
+constexpr std::int64_t halo_packet_bytes(std::int64_t values, Wire wire) {
+  return values * wire_value_bytes<T>(wire);
+}
+
 struct CommModel {
   double bandwidth_bytes_per_s = 25e9;  // ~ one NIC link per rank pair
   double latency_s = 2e-6;
@@ -99,7 +110,7 @@ class BoundaryExchange {
     const index_t count = rows * B;
 
     Timer t;
-    index_t bytes = 0;
+    const auto bytes = static_cast<index_t>(halo_packet_bytes<T>(count, wire_));
     if (wire_ == Wire::fp32) {
       using L = la::low_precision_t<T>;
       // Typed buffer, not reinterpreted raw bytes: writing L values into
@@ -110,7 +121,6 @@ class BoundaryExchange {
       L* buf = wire32_.data();
       for (index_t j = 0; j < B; ++j) la::demote<T>(X.col(j) + lo, buf + j * rows, rows);
       for (index_t j = 0; j < B; ++j) la::promote<T>(buf + j * rows, X.col(j) + lo, rows);
-      bytes = count * static_cast<index_t>(sizeof(L));
     } else if (wire_ == Wire::bf16) {
       wirebf_.resize(count * la::bf16_units<T>);
       la::bf16_t* buf = wirebf_.data();
@@ -119,14 +129,12 @@ class BoundaryExchange {
         la::demote_bf16<T>(X.col(j) + lo, buf + j * rows * u, rows);
       for (index_t j = 0; j < B; ++j)
         la::promote_bf16<T>(buf + j * rows * u, X.col(j) + lo, rows);
-      bytes = count * static_cast<index_t>(wire_value_bytes<T>(Wire::bf16));
     } else {
       wire64_.resize(count);
       T* buf = wire64_.data();
       for (index_t j = 0; j < B; ++j) std::copy(X.col(j) + lo, X.col(j) + hi, buf + j * rows);
       for (index_t j = 0; j < B; ++j)
         std::copy(buf + j * rows, buf + (j + 1) * rows, X.col(j) + lo);
-      bytes = count * static_cast<index_t>(sizeof(T));
     }
     stats_.pack_seconds += t.seconds();
     stats_.bytes += 2 * bytes;  // send + receive

@@ -1,0 +1,38 @@
+// Cold globals of the schedule-point seam (dd/schedule.hpp): the installed
+// controller, per-thread registration, and the seeded-mutant selector. Only
+// compiled to anything under -DDFTFE_MODEL_CHECK=ON; the production seam is
+// pure aliases with no state.
+
+#include "dd/schedule.hpp"
+
+#if DFTFE_MODEL_CHECK
+
+#include <atomic>
+
+namespace dftfe::dd::sched {
+
+namespace {
+std::atomic<Scheduler*> g_controller{nullptr};
+std::atomic<Mutant> g_mutant{Mutant::none};
+thread_local bool t_registered = false;
+}  // namespace
+
+Mutant mutant() noexcept { return g_mutant.load(std::memory_order_relaxed); }
+void set_mutant(Mutant m) noexcept { g_mutant.store(m, std::memory_order_relaxed); }
+
+void set_controller(Scheduler* s) noexcept {
+  g_controller.store(s, std::memory_order_release);
+}
+Scheduler* controller() noexcept { return g_controller.load(std::memory_order_acquire); }
+
+bool controlled() noexcept { return t_registered && controller() != nullptr; }
+
+// Registration only flips the thread-local opt-in flag; thread lifecycle
+// (start parking, finish accounting) is the controlled scheduler's own
+// attach/detach protocol, so this destructor can never throw mid-unwind.
+ThreadGuard::ThreadGuard() { t_registered = true; }
+ThreadGuard::~ThreadGuard() { t_registered = false; }
+
+}  // namespace dftfe::dd::sched
+
+#endif  // DFTFE_MODEL_CHECK

@@ -32,6 +32,10 @@ const char* log_level_name(LogLevel level) {
 }
 
 Logger::Logger() {
+  // Runs once, inside the magic-static guard of Logger::global(), before
+  // any solver thread exists; nothing in this codebase calls setenv, so the
+  // getenv data race concurrency-mt-unsafe guards against cannot occur.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DFTFE_LOG_LEVEL"))
     level_ = parse_log_level(env, LogLevel::info);
 }

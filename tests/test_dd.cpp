@@ -1,12 +1,18 @@
 // Tests for the domain-decomposition layer: slab partitioning, interface
 // bookkeeping, FP64/FP32 wire exchanges (byte accounting, rounding behavior),
-// and asynchronous overlap.
+// asynchronous overlap, and the halo mailbox's documented edge semantics
+// (idempotent close, repeatable reset, zero-capacity packets). The mailbox's
+// full concurrency protocol is model-checked in tests/test_model_check.cpp;
+// here the edges are pinned single-threaded so the contract holds even where
+// the checker's scenarios never push a schedule.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "dd/exchange.hpp"
+#include "dd/mailbox.hpp"
 #include "dd/pipeline.hpp"
 #include "dd/partition.hpp"
 #include "fe/dofs.hpp"
@@ -256,6 +262,59 @@ TEST(Pipeline, OverlapNeverSlowerThanSyncNorFasterThanBounds) {
   }
   EXPECT_LE(async, sync + 1e-12);
   EXPECT_GE(async, std::max(csum, msum) - 1e-12);
+}
+
+// --- HaloChannel edge semantics (single-threaded; see mailbox.hpp header) ---
+
+/// Post one packet carrying `v` and consume it, asserting the payload.
+void roundtrip_packet(HaloChannel<double>& ch, double v) {
+  const int s = ch.begin_post();
+  ch.buf64(s)[0] = v;
+  ch.finish_post(s, HaloChannel<double>::Clock::now());
+  const int r = ch.wait_packet();
+  EXPECT_EQ(ch.cbuf64(r)[0], v);
+  ch.release(r);
+}
+
+TEST(HaloChannelEdge, ResetTwiceYieldsFreshChannelEachTime) {
+  HaloChannel<double> ch;
+  ch.init(Wire::fp64, 1);
+  roundtrip_packet(ch, 1.5);
+  ch.reset();
+  ch.reset();  // second reset of an already-fresh channel must be a no-op
+  roundtrip_packet(ch, 2.5);
+  // reset() with a packet still in flight drops it: the slot is reclaimable
+  // by the sender immediately and nothing is left to receive.
+  const int s = ch.begin_post();
+  ch.finish_post(s, HaloChannel<double>::Clock::now());
+  ch.reset();
+  roundtrip_packet(ch, 3.5);
+}
+
+TEST(HaloChannelEdge, CloseIsIdempotentAndResetClearsPoison) {
+  HaloChannel<double> ch;
+  ch.init(Wire::fp64, 1);
+  ch.close();
+  EXPECT_NO_THROW(ch.close());  // documented: closing a closed channel is a no-op
+  EXPECT_THROW(ch.begin_post(), std::runtime_error);
+  EXPECT_THROW(ch.wait_packet(), std::runtime_error);
+  EXPECT_NO_THROW(ch.close());  // still idempotent after poisoned calls
+  ch.reset();
+  roundtrip_packet(ch, 4.5);  // poison cleared: full protocol works again
+}
+
+TEST(HaloChannelEdge, ZeroCapacityChannelRunsFullProtocol) {
+  HaloChannel<double> ch;
+  ch.init(Wire::fp64, 0);  // legal: empty payloads, the protocol still runs
+  for (int step = 0; step < 3; ++step) {
+    const int s = ch.begin_post();
+    ch.finish_post(s, HaloChannel<double>::Clock::now());
+    const int r = ch.wait_packet();
+    EXPECT_EQ(r, s);
+    ch.release(r);
+  }
+  ch.close();
+  EXPECT_THROW(ch.wait_packet(), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Binary-level hot-path verification: no unreviewed allocation or throw.
+
+The source-level hot-path-alloc lint rule (tools/lint_invariants.py) polices
+what the code *says*; this check polices what the compiler *emitted*. It
+disassembles the designated hot-path translation units of a Release build and
+attributes every relocation against an allocation or exception-throw symbol
+(operator new, __cxa_throw, __cxa_allocate_exception, __cxa_rethrow) to the
+function that carries it. Each such function must match a whitelist entry
+that names why the reference is acceptable — cold control plane, amortized
+workspace warmup, or a deliberate hard-fail throw. An unlisted reference
+fails the check, so a heap call or throw sneaking into a lane-side loop
+through inlining is caught at the binary level even when the source-level
+lint cannot see it (e.g. growth hidden behind a helper in another header).
+
+Run from the build tree (registered as the `hotpath_symbols` ctest for
+Release builds without sanitizers — instrumentation rewrites allocation and
+attribution wholesale):
+
+    python3 tools/check_hotpath_symbols.py --build-dir build
+
+The whitelist is a ratchet, not an escape hatch: entries are reviewed like
+lint waivers, and an entry that stops matching anything is reported so the
+list cannot fossilize.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# Hot-path translation units: object path fragment under <build>/src.
+HOT_TUS = [
+    ("la/cholesky.cpp", "dftfe_la.dir/la/cholesky.cpp.o"),
+    ("la/eig.cpp", "dftfe_la.dir/la/eig.cpp.o"),
+    ("ks/scf.cpp", "dftfe_ks.dir/ks/scf.cpp.o"),
+    ("dd/engine.cpp", "dftfe_dd.dir/dd/engine.cpp.o"),
+]
+
+# Symbols whose presence in a hot function needs a reviewed justification.
+ALLOC_SYMS = re.compile(
+    r"^(_Znwm|_Znam|_ZnwmSt11align_val_t|_ZnamSt11align_val_t|malloc|calloc|realloc)$")
+THROW_SYMS = re.compile(r"^(__cxa_throw|__cxa_rethrow|__cxa_allocate_exception)$")
+
+FUNC_HEADER = re.compile(r"^[0-9a-f]+ <(.+)>:$")
+RELOC = re.compile(r"R_X86_64_(?:PLT32|PC32|32S?|64|GOTPCRELX?|REX_GOTPCRELX)"
+                   r"\s+(\S+?)(?:[-+]0x[0-9a-f]+)?$")
+
+# Each entry: (regex over the demangled function name, {"alloc","throw"},
+# reason). A function carrying a banned reference must match an entry that
+# covers every symbol class it references. Matching is done on the demangled
+# name with any " [clone ...]" suffix stripped, so .constprop/.isra/.cold
+# clones inherit their parent's entry.
+WHITELIST = [
+    # -- instantiated library helpers ------------------------------------
+    (r"^(std::|__gnu_cxx::|void std::|.* std::_Rb_tree)", {"alloc", "throw"},
+     "std template helper emitted into this TU; its call sites are what the "
+     "source-level hot-path-alloc rule polices"),
+    # -- sanctioned workspace layer --------------------------------------
+    (r"dftfe::la::(Workspace<|WorkMatrix<|ensure_scratch<)", {"alloc"},
+     "la/workspace.hpp is the sanctioned allocation layer: first-touch "
+     "growth, amortized to zero in steady state (asserted by the "
+     "mem.workspace.allocations gauge in tests)"),
+    # -- observability publishers ----------------------------------------
+    (r"dftfe::obs::(LogMessage|MetricsRegistry)", {"alloc"},
+     "log/metrics publishers keep string-keyed maps; called from cold "
+     "control flow and per-job publication, never per-element loops"),
+    (r"dftfe::FlopCounter::add", {"alloc", "throw"},
+     "flop ledger map insert; amortized after the first step of each kind"),
+    # -- LAPACK-style factorization/eig kernels --------------------------
+    (r"dftfe::la::(cholesky_lower<|invert_lower_triangular<|symmetric_eig|"
+     r"hermitian_eig<|lanczos_upper_bound<)", {"alloc", "throw"},
+     "entry-time scratch sizing plus breakdown throw; once per call, "
+     "outside the blocked inner loops"),
+    (r"dftfe::la::(gemm_low_precision<|overlap_hermitian_partial<)",
+     {"alloc", "throw"},
+     "mixed-precision wire scratch via ensure_scratch (inlined at -O3) and "
+     "OpenMP-region exception replay; steady-state allocation-free"),
+    # -- SCF driver control plane ----------------------------------------
+    (r"dftfe::ks::KohnShamDFT<", {"alloc", "throw"},
+     "SCF control plane: per-solve setup, density/potential vectors sized "
+     "per iteration, result publication; the per-element loops live in "
+     "ks/hamiltonian.hpp and la/ kernels"),
+    (r"dftfe::ks::ChebyshevFilteredSolver<", {"alloc", "throw"},
+     "solver stage drivers: workspace warmup plus the orthonormalization "
+     "breakdown hard-fail; per-cycle, not per-element"),
+    (r"dftfe::ks::Hamiltonian<.*>::apply_fused", {"alloc"},
+     "amortized ensure_scratch warmup inlined at -O3; steady state is "
+     "allocation-free (mem.workspace.allocations gauge asserts this)"),
+    (r"std::_Function_handler<", {"alloc"},
+     "std::function thunk for the backend apply hooks; allocation happens "
+     "at hook installation, not invocation"),
+    # -- threaded rank engine --------------------------------------------
+    (r"dftfe::dd::SlabEngine<.*>::(build_lanes|start_lanes|ensure_wire_capacity|"
+     r"ensure_step_storage|collect_step_stats|publish_job_metrics|submit|"
+     r"set_potential|debug_fault)", {"alloc", "throw"},
+     "engine cold control plane: construction, sizing, job submission, "
+     "metrics publication (driver thread, between jobs)"),
+    (r"dftfe::dd::SlabEngine<.*>::(apply|overlap|accumulate_density|filter_block|"
+     r"run_job)\(", {"alloc", "throw"},
+     "driver-side job entry points: precondition throws plus failure "
+     "propagation (rethrow of a lane's job error); at most once per job"),
+    (r"dftfe::dd::SlabEngine<.*>::(post_halo|recv_halo)", {"throw"},
+     "drift-budget hard-fail and poison propagation — the very protocol "
+     "paths tools/model_check explores; throws at most once per failed job"),
+    (r"dftfe::dd::SlabEngine<.*>::(apply_segment|lane_gram)", {"alloc"},
+     "per-lane workspace lease acquire inlined at -O3; amortized to zero "
+     "after lane warmup"),
+]
+
+COMPILED = [(re.compile(pat), syms, reason) for pat, syms, reason in WHITELIST]
+
+
+def demangle(names: list[str]) -> dict[str, str]:
+    if not names:
+        return {}
+    out = subprocess.run(["c++filt"], input="\n".join(names),
+                         capture_output=True, text=True, check=True).stdout
+    return dict(zip(names, out.splitlines()))
+
+
+def scan_object(obj: Path) -> dict[str, set[str]]:
+    """Map mangled function name -> set of banned symbols it references."""
+    out = subprocess.run(["objdump", "-dr", "--no-show-raw-insn", str(obj)],
+                         capture_output=True, text=True, check=True).stdout
+    refs: dict[str, set[str]] = defaultdict(set)
+    current = None
+    for line in out.splitlines():
+        m = FUNC_HEADER.match(line)
+        if m:
+            current = m.group(1)
+            continue
+        m = RELOC.search(line)
+        if m and current:
+            sym = m.group(1)
+            if ALLOC_SYMS.match(sym) or THROW_SYMS.match(sym):
+                refs[current].add(sym)
+    return refs
+
+
+def classify(sym: str) -> str:
+    return "alloc" if ALLOC_SYMS.match(sym) else "throw"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, required=True,
+                        help="CMake build directory holding the objects")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every whitelisted reference too")
+    args = parser.parse_args()
+
+    violations: list[str] = []
+    matched_entries: set[int] = set()
+    checked = 0
+
+    for tu, frag in HOT_TUS:
+        obj = args.build_dir / "src" / "CMakeFiles" / frag
+        if not obj.is_file():
+            print(f"error: missing object for {tu}: {obj}", file=sys.stderr)
+            return 2
+        refs = scan_object(obj)
+        names = demangle(sorted(refs))
+        checked += 1
+        for mangled in sorted(refs):
+            dem = re.sub(r"\s*\[clone [^\]]*\]$", "", names[mangled])
+            need = {classify(s) for s in refs[mangled]}
+            covered: set[str] = set()
+            for idx, (pat, syms, _reason) in enumerate(COMPILED):
+                if pat.search(dem):
+                    matched_entries.add(idx)
+                    covered |= syms & need
+            missing = need - covered
+            if missing:
+                syms = ", ".join(sorted(refs[mangled]))
+                violations.append(
+                    f"{tu}: {dem}\n      references {syms} "
+                    f"(unwhitelisted class: {', '.join(sorted(missing))})")
+            elif args.verbose:
+                print(f"ok: {tu}: {dem} [{', '.join(sorted(need))}]")
+
+    stale = [WHITELIST[i][0] for i in range(len(WHITELIST))
+             if i not in matched_entries]
+    if stale:
+        print(f"check_hotpath_symbols: {len(stale)} whitelist entr(y/ies) "
+              "matched nothing (toolchain drift or dead entry — prune or "
+              "re-justify):")
+        for pat in stale:
+            print(f"  {pat}")
+
+    if violations:
+        print(f"check_hotpath_symbols: {len(violations)} unreviewed "
+              "alloc/throw reference(s) in hot-path objects\n", file=sys.stderr)
+        for v in violations:
+            print("  " + v, file=sys.stderr)
+        print("\nEither move the allocation/throw out of the hot function, "
+              "route scratch through la/workspace.hpp, or add a reviewed "
+              "WHITELIST entry in tools/check_hotpath_symbols.py with the "
+              "reason the reference is cold or amortized.", file=sys.stderr)
+        return 1
+    print(f"check_hotpath_symbols: OK ({checked} hot-path objects verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,14 +52,21 @@ Waivers: a line may be exempted from one rule with an inline justification —
     some_vector.push_back(x);  // lint: allow(hot-path-alloc): why it is fine
 
 on the same line or the line directly above. A waiver without a reason text
-is itself a violation. Waivers are for lines that are provably cold or
-amortized, not an escape hatch; reviewers treat every new waiver as a design
-question.
+is itself a violation, as is a placeholder reason ("TODO", "temp", "xxx", or
+anything without a real word in it). A waiver may carry an expiry date —
+
+    // lint: allow(hot-path-alloc, until=2026-12-31): cold until the pool lands
+
+after which it counts as a violation again; non-expired dated waivers are
+listed in the run summary so they get revisited instead of fossilizing.
+Waivers are for lines that are provably cold or amortized, not an escape
+hatch; reviewers treat every new waiver as a design question.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import re
 import sys
 from pathlib import Path
@@ -135,7 +142,14 @@ METRIC_PREFIXES = ("comm.lane", "mem.lane", "mem.pool.")
 
 METRIC_NAME_RE = re.compile(r"\"((?:comm|mem)\.[^\"]*)\"")
 
-WAIVER_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+WAIVER_RE = re.compile(
+    r"//\s*lint:\s*allow\(([a-z-]+)"
+    r"(?:\s*,\s*until\s*=\s*(\d{4}-\d{2}-\d{2}))?\)\s*(?::\s*(\S.*))?")
+
+# Reasons that explain nothing: pure placeholders, or strings with no actual
+# word in them. A real justification names why the line is cold/amortized.
+PLACEHOLDER_REASONS = {"todo", "tbd", "temp", "tmp", "wip", "fixme", "xxx",
+                       "ok", "fine", "allow", "waiver", "because"}
 
 CXX_GLOBS = ("**/*.hpp", "**/*.cpp", "**/*.h", "**/*.cc")
 
@@ -199,22 +213,42 @@ def strip_comments_and_strings(lines: list[str]) -> list[str]:
 
 
 def collect_waivers(lines: list[str], violations: list[Violation],
-                    path: Path) -> dict[int, set[str]]:
+                    path: Path, today: str,
+                    expiring: list[str], root: Path) -> dict[int, set[str]]:
     """Map line number -> set of waived rules. A waiver covers its own line
     and the line below (for waivers placed on their own line above the
-    waived statement). Reason text is mandatory."""
+    waived statement). Reason text is mandatory and must say something; an
+    `until=` date past `today` voids the waiver, a future one is reported in
+    the expiring-waiver summary."""
     waived: dict[int, set[str]] = {}
     for idx, line in enumerate(lines, start=1):
         m = WAIVER_RE.search(line)
         if not m:
             continue
-        rule, reason = m.group(1), m.group(2)
+        rule, until, reason = m.group(1), m.group(2), m.group(3)
         if not reason:
             violations.append(Violation(
                 "waiver-format", path, idx,
                 f"waiver for '{rule}' has no justification text "
                 "(expected '// lint: allow(rule): reason')"))
             continue
+        words = re.findall(r"[A-Za-z]{2,}", reason)
+        if not words or (len(words) == 1 and words[0].lower() in PLACEHOLDER_REASONS):
+            violations.append(Violation(
+                "waiver-format", path, idx,
+                f"waiver for '{rule}' has a placeholder justification "
+                f"('{reason.strip()}'); say why the line is cold/amortized"))
+            continue
+        if until is not None:
+            # ISO dates compare correctly as strings; the regex fixed the shape.
+            if until <= today:
+                violations.append(Violation(
+                    "waiver-expired", path, idx,
+                    f"waiver for '{rule}' expired on {until}; fix the line "
+                    "or renew the waiver with a fresh justification"))
+                continue
+            expiring.append(f"{path.relative_to(root)}:{idx}: "
+                            f"'{rule}' waiver expires {until}")
         waived.setdefault(idx, set()).add(rule)
         waived.setdefault(idx + 1, set()).add(rule)
     return waived
@@ -224,10 +258,11 @@ def is_waived(waived: dict[int, set[str]], line_no: int, rule: str) -> bool:
     return rule in waived.get(line_no, set())
 
 
-def lint_file(path: Path, root: Path, violations: list[Violation]) -> None:
+def lint_file(path: Path, root: Path, violations: list[Violation],
+              today: str, expiring: list[str]) -> None:
     text = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = text.splitlines()
-    waived = collect_waivers(raw_lines, violations, path)
+    waived = collect_waivers(raw_lines, violations, path, today, expiring, root)
     code_lines = strip_comments_and_strings(raw_lines)
     rel = path.relative_to(root).as_posix()
 
@@ -337,8 +372,11 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: parent of tools/)")
+    parser.add_argument("--today", default=None, metavar="YYYY-MM-DD",
+                        help="override the waiver-expiry reference date (tests)")
     args = parser.parse_args()
     root = args.root.resolve()
+    today = args.today or datetime.date.today().isoformat()
 
     files: list[Path] = []
     for sub in ("src", "tests", "bench", "examples"):
@@ -349,8 +387,14 @@ def main() -> int:
             files.extend(sorted(base.glob(glob)))
 
     violations: list[Violation] = []
+    expiring: list[str] = []
     for path in files:
-        lint_file(path, root, violations)
+        lint_file(path, root, violations, today, expiring)
+
+    if expiring:
+        print(f"lint_invariants: {len(expiring)} dated waiver(s) pending expiry:")
+        for entry in sorted(expiring):
+            print("  " + entry)
 
     if violations:
         print(f"lint_invariants: {len(violations)} violation(s)\n", file=sys.stderr)

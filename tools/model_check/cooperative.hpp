@@ -1,0 +1,576 @@
+#pragma once
+
+// Controlled cooperative scheduler + stateless DFS explorer for the dd
+// schedule-point seam (src/dd/schedule.hpp). Checking builds only.
+//
+// Execution model (CHESS-style systematic concurrency testing): scenario
+// lanes run on real std::threads, but exactly one *registered* thread holds
+// the run token at any time. Every seam call (mutex acquire, condvar
+// wait/notify, slot publish/consume, close) yields the token back to the
+// scheduler, which picks the next thread to run — so an entire thread
+// interleaving is just the vector of choices made at these decision points,
+// and the explorer enumerates interleavings by depth-first search over that
+// vector, re-executing the scenario from scratch under each replayed prefix.
+//
+// Pruning:
+//   * Sleep sets (Godefroid): after fully exploring choice `t` at a node,
+//     `t` goes to sleep for the sibling subtrees and is only woken by a
+//     dependent operation. Dependence is channel-granular: two pending ops
+//     are independent iff they act on two *different* channels registered
+//     with the Registrar (unregistered objects are conservatively dependent
+//     on everything). Thread-start markers are no-ops and independent of
+//     everything, which collapses the N! equivalent start orders to one.
+//   * Preemption bounding (optional): a choice is a preemption when the
+//     previously-running thread is still enabled but a different thread is
+//     picked. With a bound, runs that would exceed it are cut; exploration
+//     is then exhaustive only over the bounded schedule space, and combining
+//     the bound with sleep sets can additionally drop some within-bound
+//     schedules — acceptable for the large (3-4 lane) sweeps, which are
+//     best-effort; the acceptance-gate scenarios run unbounded and sound.
+//
+// Violations surface three ways, all recorded with the full schedule trace:
+//   * deadlock — no thread is runnable while some are cooperatively blocked
+//     (this is how a lost wakeup manifests, e.g. the drop_notify mutant);
+//   * InvariantViolation thrown by a scenario body (e.g. the generation
+//     sequence check catching the skip_gen mutant) or by the post-run check;
+//   * any other exception escaping a scenario thread.
+
+#include "dd/schedule.hpp"
+
+#if !DFTFE_MODEL_CHECK
+#error "tools/model_check/cooperative.hpp requires -DDFTFE_MODEL_CHECK=ON"
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace dftfe::mc {
+
+using dd::sched::Op;
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::acquire: return "acquire";
+    case Op::release: return "release";
+    case Op::wait: return "wait";
+    case Op::wake: return "wake";
+    case Op::notify: return "notify";
+    case Op::publish: return "publish";
+    case Op::consume: return "consume";
+    case Op::close: return "close";
+    case Op::start: return "start";
+    case Op::finish: return "finish";
+  }
+  return "?";
+}
+
+/// Internal unwind signal: the run is being abandoned (violation found, or
+/// the schedule prefix turned out redundant). Never escapes the explorer.
+struct SchedulerAbort {};
+
+/// What a ready thread will do when next granted the token.
+struct PendingOp {
+  Op op = Op::start;
+  const void* obj = nullptr;
+  int group = 0;  // Registrar dependency group (0 = unregistered)
+};
+
+struct TraceEvent {
+  int tid = -1;
+  PendingOp what;
+};
+
+/// The seam-facing half: serializes registered scenario threads and reports
+/// every decision point to a pluggable decide() callback (the explorer).
+class CooperativeScheduler final : public dd::sched::Scheduler {
+ public:
+  enum class RunStatus { finished, deadlock, violation, redundant };
+
+  /// decide(candidates, pending, prev) -> chosen tid, or -1 to abandon the
+  /// run as redundant (sleep-set or preemption-bound blocked). `candidates`
+  /// is sorted; `pending` is parallel to it; `prev` is the previously
+  /// granted thread (-1 at the first decision).
+  using DecideFn =
+      std::function<int(const std::vector<int>&, const std::vector<PendingOp>&, int)>;
+
+  void begin_run(int nthreads, const Registrar* reg, DecideFn decide) {
+    th_.assign(static_cast<std::size_t>(nthreads), Th{});
+    active_ = -1;
+    prev_ = -1;
+    aborting_ = false;
+    status_ = RunStatus::finished;
+    message_.clear();
+    trace_.clear();
+    reg_ = reg;
+    decide_ = std::move(decide);
+  }
+
+  /// Called by each scenario thread before its body; parks until granted.
+  void attach(int tid) {
+    t_tid_ = tid;
+    std::unique_lock<std::mutex> lk(m_);
+    th_[static_cast<std::size_t>(tid)].st = St::ready;
+    th_[static_cast<std::size_t>(tid)].pending = PendingOp{Op::start, nullptr, 0};
+    cv_.notify_all();
+    wait_for_token(lk, tid);
+  }
+
+  /// Called by each scenario thread after its body (or its unwind) — must
+  /// never throw: it is the last thing the thread does.
+  void detach() noexcept {
+    const std::lock_guard<std::mutex> lk(m_);
+    th_[static_cast<std::size_t>(t_tid_)].st = St::finished;
+    if (active_ == t_tid_) active_ = -1;
+    cv_.notify_all();
+  }
+
+  /// A scenario thread caught an invariant violation (or an unexpected
+  /// exception): record it and abandon the run. All parked threads unwind
+  /// via SchedulerAbort; running ones abort at their next seam call.
+  void report_violation(std::string msg) {
+    const std::lock_guard<std::mutex> lk(m_);
+    if (status_ != RunStatus::violation) {
+      status_ = RunStatus::violation;
+      message_ = std::move(msg);
+    }
+    aborting_ = true;
+    cv_.notify_all();
+  }
+
+  // ---- dd::sched::Scheduler ----
+  void point(Op op, const void* obj) override {
+    std::unique_lock<std::mutex> lk(m_);
+    const int tid = t_tid_;
+    if (op == Op::publish || op == Op::consume || op == Op::close) {
+      // These points sit inside the channel's critical section: every other
+      // operation on the same channel is serialized behind the held mutex,
+      // and operations on other channels commute with this one. Yielding
+      // here would only multiply the schedule tree with interleavings
+      // equivalent to deferring the switch until the unlock, so record the
+      // event for the trace and keep running.
+      if (aborting_) throw SchedulerAbort{};
+      trace_.push_back(TraceEvent{tid, PendingOp{op, obj, group_of(obj)}});
+      return;
+    }
+    th_[static_cast<std::size_t>(tid)].st = St::ready;
+    th_[static_cast<std::size_t>(tid)].pending = PendingOp{op, obj, group_of(obj)};
+    active_ = -1;
+    cv_.notify_all();
+    wait_for_token(lk, tid);
+  }
+
+  void block(const void* obj) override {
+    std::unique_lock<std::mutex> lk(m_);
+    const int tid = t_tid_;
+    th_[static_cast<std::size_t>(tid)].st = St::blocked;
+    th_[static_cast<std::size_t>(tid)].block_obj = obj;
+    active_ = -1;
+    cv_.notify_all();
+    wait_for_token(lk, tid);
+  }
+
+  void wake(const void* obj) override {
+    // Called by the running thread (mutex release / condvar notify). Marks
+    // waiters runnable but does NOT transfer control — the next decision
+    // point decides who actually proceeds.
+    const std::lock_guard<std::mutex> lk(m_);
+    for (Th& t : th_)
+      if (t.st == St::blocked && t.block_obj == obj) {
+        t.st = St::ready;
+        t.block_obj = nullptr;
+        t.pending = PendingOp{Op::wake, obj, group_of(obj)};
+      }
+  }
+
+  /// Main-thread driver: serializes the whole run, calling decide() at every
+  /// decision point. Returns once every scenario thread has finished (the
+  /// caller still joins them). Exceptions from decide() (harness bugs, e.g.
+  /// replay divergence) abort the run, drain the threads, then propagate.
+  RunStatus drive() {
+    std::unique_lock<std::mutex> lk(m_);
+    // Deterministic start: wait until every thread has attached, so the
+    // enabled set at the first decision is identical across replays.
+    cv_.wait(lk, [&] {
+      return std::all_of(th_.begin(), th_.end(),
+                         [](const Th& t) { return t.st != St::created; });
+    });
+    for (;;) {
+      cv_.wait(lk, [&] { return active_ == -1; });
+      if (aborting_) break;
+      std::vector<int> cand;
+      std::vector<PendingOp> pend;
+      bool all_finished = true;
+      for (int i = 0; i < static_cast<int>(th_.size()); ++i) {
+        const Th& t = th_[static_cast<std::size_t>(i)];
+        if (t.st != St::finished) all_finished = false;
+        if (t.st == St::ready) {
+          cand.push_back(i);
+          pend.push_back(t.pending);
+        }
+      }
+      if (all_finished) return RunStatus::finished;
+      if (cand.empty()) {
+        status_ = RunStatus::deadlock;
+        message_ = describe_deadlock();
+        aborting_ = true;
+        cv_.notify_all();
+        break;
+      }
+      int chosen = -1;
+      try {
+        chosen = decide_(cand, pend, prev_);
+      } catch (...) {
+        aborting_ = true;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return all_done(); });
+        throw;
+      }
+      if (chosen < 0) {
+        status_ = RunStatus::redundant;
+        aborting_ = true;
+        cv_.notify_all();
+        break;
+      }
+      Th& c = th_[static_cast<std::size_t>(chosen)];
+      trace_.push_back(TraceEvent{chosen, c.pending});
+      prev_ = chosen;
+      c.st = St::running;
+      active_ = chosen;
+      cv_.notify_all();
+    }
+    // Drain: parked threads throw SchedulerAbort when notified; running ones
+    // abort at their next seam call or finish normally.
+    cv_.wait(lk, [&] { return all_done(); });
+    return status_;
+  }
+
+  const std::string& message() const { return message_; }
+
+  std::string trace_string() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const TraceEvent& e = trace_[i];
+      os << "    #" << i << " lane" << e.tid << " " << op_name(e.what.op);
+      if (e.what.group > 0 && reg_ != nullptr)
+        os << " " << reg_->describe(e.what.group);
+      else if (e.what.obj != nullptr)
+        os << " <unmapped>";
+      os << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  enum class St { created, ready, running, blocked, finished };
+  struct Th {
+    St st = St::created;
+    PendingOp pending;
+    const void* block_obj = nullptr;
+  };
+
+  int group_of(const void* obj) const {
+    return (reg_ != nullptr) ? reg_->group_of(obj) : 0;
+  }
+
+  bool all_done() const {
+    return std::all_of(th_.begin(), th_.end(),
+                       [](const Th& t) { return t.st == St::finished; });
+  }
+
+  void wait_for_token(std::unique_lock<std::mutex>& lk, int tid) {
+    cv_.wait(lk, [&] { return aborting_ || active_ == tid; });
+    if (aborting_) throw SchedulerAbort{};
+    // drive() already marked us running before handing over the token.
+  }
+
+  std::string describe_deadlock() const {
+    std::ostringstream os;
+    os << "deadlock: no runnable thread;";
+    for (int i = 0; i < static_cast<int>(th_.size()); ++i) {
+      const Th& t = th_[static_cast<std::size_t>(i)];
+      if (t.st == St::blocked)
+        os << " lane" << i << " blocked on "
+           << (reg_ != nullptr ? reg_->describe(group_of(t.block_obj)) : "<unmapped>");
+    }
+    os << " (lost wakeup or missing poison cascade)";
+    return os.str();
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<Th> th_;
+  int active_ = -1;   // tid holding the run token; -1 = the driver
+  int prev_ = -1;     // last granted tid
+  bool aborting_ = false;
+  RunStatus status_ = RunStatus::finished;
+  std::string message_;
+  std::vector<TraceEvent> trace_;
+  const Registrar* reg_ = nullptr;
+  DecideFn decide_;
+  static thread_local int t_tid_;
+};
+
+inline thread_local int CooperativeScheduler::t_tid_ = -1;
+
+struct ExploreOptions {
+  int preemption_bound = -1;   // -1 = unbounded (sound, exhaustive)
+  long max_schedules = 200000;  // completed + redundant runs
+  double max_seconds = 60.0;
+  int max_violations = 1;  // stop after this many distinct violating runs
+  int max_depth = 100000;  // decisions per run (livelock guard)
+};
+
+struct Violation {
+  long schedule = 0;  // 1-based index of the violating run
+  std::string message;
+  std::string trace;
+};
+
+struct ExploreResult {
+  long schedules = 0;        // completed runs (clean, deadlocked, or violating)
+  long redundant = 0;        // runs abandoned by sleep-set pruning
+  long bound_blocked = 0;    // runs abandoned by the preemption bound
+  long decision_points = 0;  // total decide() calls across all runs
+  int max_depth = 0;         // deepest run, in decisions
+  bool complete = false;     // DFS tree exhausted (within the bound, if any)
+  bool hit_schedule_cap = false;
+  bool hit_time_cap = false;
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Stateless-search DFS explorer over CooperativeScheduler decision vectors.
+class Explorer {
+ public:
+  ExploreResult explore(const Scenario& sc, const ExploreOptions& opt) {
+    opt_ = opt;
+    nodes_.clear();
+    ExploreResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    dd::sched::set_controller(&sch_);
+    struct Uninstall {
+      ~Uninstall() { dd::sched::set_controller(nullptr); }
+    } uninstall;
+
+    for (;;) {
+      depth_ = 0;
+      bound_cut_ = false;
+      reg_.clear();
+      std::shared_ptr<void> state = sc.setup(reg_);
+      sch_.begin_run(sc.nthreads, &reg_,
+                     [this](const std::vector<int>& cand,
+                            const std::vector<PendingOp>& pend,
+                            int prev) { return decide(cand, pend, prev); });
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(sc.nthreads));
+      for (int t = 0; t < sc.nthreads; ++t)
+        threads.emplace_back([&, t] {
+          dd::sched::ThreadGuard guard;
+          try {
+            sch_.attach(t);
+            sc.body(state.get(), t);
+          } catch (const SchedulerAbort&) {
+          } catch (const InvariantViolation& e) {
+            sch_.report_violation(std::string("invariant violation: ") + e.what());
+          } catch (const std::exception& e) {
+            sch_.report_violation(std::string("unexpected exception: ") + e.what());
+          }
+          sch_.detach();
+        });
+      CooperativeScheduler::RunStatus st;
+      try {
+        st = sch_.drive();
+      } catch (...) {
+        for (auto& th : threads) th.join();
+        throw;
+      }
+      for (auto& th : threads) th.join();
+
+      res.decision_points += depth_;
+      res.max_depth = std::max(res.max_depth, static_cast<int>(depth_));
+      switch (st) {
+        case CooperativeScheduler::RunStatus::finished:
+          ++res.schedules;
+          if (sc.check) {
+            try {
+              sc.check(state.get());
+            } catch (const InvariantViolation& e) {
+              res.violations.push_back(
+                  {res.schedules,
+                   std::string("post-run invariant violation: ") + e.what(),
+                   sch_.trace_string()});
+            } catch (const std::exception& e) {
+              res.violations.push_back(
+                  {res.schedules,
+                   std::string("unexpected exception in check(): ") + e.what(),
+                   sch_.trace_string()});
+            }
+          }
+          break;
+        case CooperativeScheduler::RunStatus::deadlock:
+        case CooperativeScheduler::RunStatus::violation:
+          ++res.schedules;
+          res.violations.push_back({res.schedules, sch_.message(), sch_.trace_string()});
+          break;
+        case CooperativeScheduler::RunStatus::redundant:
+          if (bound_cut_)
+            ++res.bound_blocked;
+          else
+            ++res.redundant;
+          break;
+      }
+
+      if (static_cast<int>(res.violations.size()) >= opt_.max_violations) break;
+      if (res.schedules + res.redundant + res.bound_blocked >= opt_.max_schedules) {
+        res.hit_schedule_cap = true;
+        break;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      if (elapsed >= opt_.max_seconds) {
+        res.hit_time_cap = true;
+        break;
+      }
+      if (!backtrack()) {
+        res.complete = true;
+        break;
+      }
+    }
+    return res;
+  }
+
+ private:
+  // One decision point on the current DFS path. `tried` lists the choices
+  // whose subtrees are explored or in progress — the current choice is
+  // always tried.back(). Effective sleep set when the current choice was
+  // made = inherited ∪ tried[0 .. size-2].
+  struct Node {
+    std::vector<int> candidates;
+    std::vector<PendingOp> pending;
+    std::vector<int> inherited;  // sleep set inherited from the parent
+    std::vector<int> tried;
+    int chosen = -1;
+    int prev = -1;         // thread granted before this decision
+    int preemptions = 0;   // preemptions consumed strictly before this node
+  };
+
+  static bool contains(const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  }
+
+  /// Channel-granular independence; `start` markers are no-ops and commute
+  /// with everything (collapses equivalent thread-start orders).
+  static bool independent(const PendingOp& a, const PendingOp& b) {
+    if (a.op == Op::start || b.op == Op::start) return true;
+    if (a.group == 0 || b.group == 0) return false;
+    return a.group != b.group;
+  }
+
+  const PendingOp& pending_of(const Node& n, int tid) const {
+    for (std::size_t i = 0; i < n.candidates.size(); ++i)
+      if (n.candidates[i] == tid) return n.pending[i];
+    throw std::logic_error("model_check: sleep-set thread not among candidates");
+  }
+
+  bool would_preempt(const Node& n, int choice) const {
+    return n.prev >= 0 && choice != n.prev && contains(n.candidates, n.prev);
+  }
+
+  /// First candidate outside the sleep set that the preemption bound allows,
+  /// or -1. Sets bound_cut_ when the bound (not the sleep set) was binding.
+  int pick(const Node& n) {
+    bool bound_skipped = false;
+    for (const int c : n.candidates) {
+      if (contains(n.inherited, c) || contains(n.tried, c)) continue;
+      if (opt_.preemption_bound >= 0 && n.preemptions >= opt_.preemption_bound &&
+          would_preempt(n, c)) {
+        bound_skipped = true;
+        continue;
+      }
+      return c;
+    }
+    if (bound_skipped) bound_cut_ = true;
+    return -1;
+  }
+
+  int decide(const std::vector<int>& cand, const std::vector<PendingOp>& pend, int prev) {
+    const std::size_t d = depth_++;
+    if (d >= static_cast<std::size_t>(opt_.max_depth))
+      throw std::runtime_error("model_check: run exceeded max_depth (livelock?)");
+    if (d < nodes_.size()) {
+      // Replay of the committed prefix (or the freshly advanced branch node).
+      Node& n = nodes_[d];
+      if (cand != n.candidates)
+        throw std::logic_error(
+            "model_check: replay diverged — scenario is schedule-nondeterministic");
+      return n.chosen;
+    }
+    Node n;
+    n.candidates = cand;
+    n.pending = pend;
+    n.prev = prev;
+    if (d > 0) {
+      const Node& p = nodes_[d - 1];
+      n.preemptions = p.preemptions + (would_preempt(p, p.chosen) ? 1 : 0);
+      // Sleep-set inheritance: a sleeping thread stays asleep across this
+      // edge iff its pending op is independent of the op just executed.
+      const PendingOp& executed = pending_of(p, p.chosen);
+      auto consider = [&](int u) {
+        if (u == p.chosen || contains(n.inherited, u) || !contains(cand, u)) return;
+        if (independent(pending_of(p, u), executed)) n.inherited.push_back(u);
+      };
+      for (const int u : p.inherited) consider(u);
+      for (std::size_t i = 0; i + 1 < p.tried.size(); ++i) consider(p.tried[i]);
+      std::sort(n.inherited.begin(), n.inherited.end());
+    }
+    const int chosen = pick(n);
+    if (chosen < 0) {
+      // Every enabled thread is asleep (all continuations covered elsewhere)
+      // or barred by the bound: abandon the run without recording the node.
+      --depth_;
+      return -1;
+    }
+    n.chosen = chosen;
+    n.tried.push_back(chosen);
+    nodes_.push_back(std::move(n));
+    return chosen;
+  }
+
+  /// Advance DFS to the next unexplored branch; false when exhausted.
+  bool backtrack() {
+    while (!nodes_.empty()) {
+      Node& n = nodes_.back();
+      const int next = pick(n);
+      if (next >= 0) {
+        n.chosen = next;
+        n.tried.push_back(next);
+        return true;
+      }
+      nodes_.pop_back();
+    }
+    return false;
+  }
+
+  CooperativeScheduler sch_;
+  Registrar reg_;
+  ExploreOptions opt_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  bool bound_cut_ = false;
+};
+
+}  // namespace dftfe::mc

@@ -1,0 +1,146 @@
+#pragma once
+
+// Scenario plumbing shared by both build modes of the dd model checker.
+//
+// A Scenario is a small, fixed, *deterministic* concurrent protocol exercise
+// over real dd::HaloChannel objects: `setup` builds fresh state (called once
+// per explored schedule), `body` is what each lane thread runs, and `check`
+// asserts post-run invariants by throwing InvariantViolation. Scenario bodies
+// must be schedule-deterministic: every branch they take may depend only on
+// program order and on values read from the channels — never on wall-clock
+// time or randomness — because the explorer in cooperative.hpp re-executes
+// them under replayed schedule prefixes and verifies the enabled sets match.
+//
+// This header compiles in every build mode. Under DFTFE_MODEL_CHECK=OFF the
+// Registrar is a stub and only run_passthrough() is usable (free-running
+// threads on the real std primitives — what the TSan CI leg exercises). The
+// controlled explorer lives in cooperative.hpp and requires the seam.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dd/schedule.hpp"
+
+namespace dftfe::mc {
+
+/// Thrown by scenario bodies / checks when a protocol invariant is broken.
+/// Distinct from the channels' own poison exceptions (plain runtime_error) so
+/// scenario code that *expects* poison can catch runtime_error while letting
+/// violations propagate — always re-throw InvariantViolation first.
+class InvariantViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+#if DFTFE_MODEL_CHECK
+
+/// Per-run registry mapping every sync object of a scenario's channels to a
+/// dependency group (1-based; 0 = unregistered). The explorer treats two
+/// pending operations as independent only when they belong to two *different*
+/// registered groups, so sleep-set pruning is sound at channel granularity
+/// and conservatively disabled for anything unregistered.
+class Registrar {
+ public:
+  template <class Channel>
+  void channel(const Channel& ch, std::string name) {
+    const int group = static_cast<int>(names_.size()) + 1;
+    names_.push_back(std::move(name));
+    for (const void* p : ch.sched_objects()) groups_[p] = group;
+  }
+  int group_of(const void* p) const {
+    const auto it = groups_.find(p);
+    return it == groups_.end() ? 0 : it->second;
+  }
+  std::string describe(int group) const {
+    if (group <= 0 || group > static_cast<int>(names_.size())) return "<unmapped>";
+    return names_[static_cast<std::size_t>(group) - 1];
+  }
+  void clear() {
+    groups_.clear();
+    names_.clear();
+  }
+
+ private:
+  std::map<const void*, int> groups_;
+  std::vector<std::string> names_;
+};
+
+#else
+
+/// Production stub: scenarios register unconditionally; with the seam off
+/// there is no scheduler to consume the mapping.
+class Registrar {
+ public:
+  template <class Channel>
+  void channel(const Channel&, std::string) {}
+  void clear() {}
+};
+
+#endif  // DFTFE_MODEL_CHECK
+
+/// Type-erased scenario. Build typed ones through make_scenario().
+struct Scenario {
+  std::string name;
+  std::string summary;
+  int nthreads = 2;
+  std::function<std::shared_ptr<void>(Registrar&)> setup;
+  std::function<void(void*, int)> body;
+  std::function<void(void*)> check;  // may be empty
+};
+
+template <class State>
+Scenario make_scenario(std::string name, std::string summary, int nthreads,
+                       std::function<std::shared_ptr<State>(Registrar&)> setup,
+                       std::function<void(State&, int)> body,
+                       std::function<void(State&)> check) {
+  Scenario s;
+  s.name = std::move(name);
+  s.summary = std::move(summary);
+  s.nthreads = nthreads;
+  s.setup = [setup = std::move(setup)](Registrar& reg) -> std::shared_ptr<void> {
+    return setup(reg);
+  };
+  s.body = [body = std::move(body)](void* st, int tid) {
+    body(*static_cast<State*>(st), tid);
+  };
+  if (check)
+    s.check = [check = std::move(check)](void* st) { check(*static_cast<State*>(st)); };
+  return s;
+}
+
+/// Run the scenario `iterations` times on free-running threads — no
+/// controlled scheduler, real std primitives (in checking builds: the seam's
+/// passthrough mode). This is what the TSan CI leg runs to prove the seam and
+/// the scenarios themselves are race-free. Throws on the first violation or
+/// escaped exception.
+inline void run_passthrough(const Scenario& sc, int iterations) {
+  for (int it = 0; it < iterations; ++it) {
+    Registrar reg;
+    std::shared_ptr<void> state = sc.setup(reg);
+    std::exception_ptr first;
+    std::mutex first_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(sc.nthreads));
+    for (int t = 0; t < sc.nthreads; ++t)
+      threads.emplace_back([&, t] {
+        try {
+          sc.body(state.get(), t);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lk(first_mu);
+          if (!first) first = std::current_exception();
+        }
+      });
+    for (auto& th : threads) th.join();
+    if (first) std::rethrow_exception(first);
+    if (sc.check) sc.check(state.get());
+  }
+}
+
+}  // namespace dftfe::mc

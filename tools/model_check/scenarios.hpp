@@ -1,0 +1,479 @@
+#pragma once
+
+// Fixed dd-protocol scenarios for the model checker (and the passthrough /
+// TSan legs). Each one drives real dd::HaloChannel objects through the exact
+// call sequence the SlabEngine lanes use — begin_post/finish_post on the
+// sender side, wait_packet/release on the receiver side, close() for the
+// failure cascade, reset() for job-failure recovery — and asserts the
+// protocol invariants:
+//
+//   * no deadlock / no lost wakeup   (the explorer reports any schedule with
+//     blocked threads and nothing runnable — this is what catches the
+//     drop_notify mutant);
+//   * every published buffer consumed exactly once, in order (checking
+//     builds stamp slots with generations; consumers assert the sequence
+//     1, 2, 3, ... — this is what catches the skip_gen mutant);
+//   * payload integrity (each packet's values must be the exact doubles the
+//     peer lane wrote for that step — no reuse-before-release corruption);
+//   * schedule-independence: per-lane halo and interior accumulators are
+//     combined in a fixed order and compared bitwise against a closed-form
+//     reference, so sync and async bodies must agree bitwise with each other
+//     and across every explored schedule;
+//   * poison always cascades: a lane hard-failing mid-exchange (the drift-
+//     budget overrun path) closes its channels, and every peer either
+//     completes (its packets were already published) or observes the poison
+//     — never blocks forever;
+//   * reset()-after-poison yields a channel indistinguishable from fresh.
+//
+// Determinism contract (required by replay): bodies branch only on program
+// order and channel values — no wall clock, no randomness. Senders stamp
+// `ready = now()` so the wire-delay gate in wait_packet() is already in the
+// past; under the controlled scheduler sleep_until is a no-op anyway.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dd/mailbox.hpp"
+#include "harness.hpp"
+
+namespace dftfe::mc::scenarios {
+
+using Channel = dd::HaloChannel<double>;
+
+constexpr int kPlane = 3;  // values per halo packet
+
+/// The exact payload lane `tid` sends at `step` — any schedule-dependent
+/// corruption (slot reuse before release, wrong slot) breaks equality.
+inline double lane_value(int tid, int step, int k) {
+  return std::sin(1.0 + 3.7 * tid + 1.3 * step) + 0.25 * k;
+}
+
+/// Per-packet payload sum in the exact association order RecvCheck::consume
+/// accumulates it — references must add whole packets, not re-associate the
+/// flat double sum, or the bitwise check trips on rounding, not on bugs.
+inline double packet_sum(int tid, int step) {
+  double s = 0.0;
+  for (int k = 0; k < kPlane; ++k) s += lane_value(tid, step, k);
+  return s;
+}
+
+inline void post_packet(Channel& ch, int tid, int step) {
+  const int s = ch.begin_post();
+  double* b = ch.buf64(s);
+  for (int k = 0; k < kPlane; ++k) b[k] = lane_value(tid, step, k);
+  ch.finish_post(s, Channel::Clock::now());
+}
+
+/// Consumer-side invariant tracker for one channel: generation sequencing
+/// (checking builds) + exact payload. Returns the packet's payload sum.
+struct RecvCheck {
+  std::uint64_t consumed = 0;
+
+  double consume(Channel& ch, int from_tid, int step) {
+    const int s = ch.wait_packet();
+    ++consumed;
+#if DFTFE_MODEL_CHECK
+    if (ch.slot_generation(s) != consumed) {
+      std::ostringstream os;
+      os << "buffer generation mismatch: consumed packet #" << consumed
+         << " carries generation " << ch.slot_generation(s)
+         << " (a published buffer was lost, duplicated, or reused before release)";
+      throw InvariantViolation(os.str());
+    }
+#endif
+    const double* b = ch.cbuf64(s);
+    double sum = 0.0;
+    for (int k = 0; k < kPlane; ++k) {
+      if (b[k] != lane_value(from_tid, step, k))
+        throw InvariantViolation("halo payload mismatch: wrong or corrupted packet");
+      sum += b[k];
+    }
+    ch.release(s);
+    return sum;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 2-lane halo exchange, sync and async bodies.
+
+struct Halo2State {
+  Channel up;  // lane0 -> lane1
+  Channel dn;  // lane1 -> lane0
+  int nsteps = 2;
+  bool async = false;
+  RecvCheck rc[2];
+  double halo[2] = {0.0, 0.0};      // received-boundary accumulator
+  double interior[2] = {0.0, 0.0};  // local-compute accumulator
+};
+
+inline std::shared_ptr<Halo2State> halo2_setup(Registrar& reg, int nsteps, bool async) {
+  auto st = std::make_shared<Halo2State>();
+  st->up.init(dd::Wire::fp64, kPlane);
+  st->dn.init(dd::Wire::fp64, kPlane);
+  st->nsteps = nsteps;
+  st->async = async;
+  reg.channel(st->up, "ch[0->1]");
+  reg.channel(st->dn, "ch[1->0]");
+  return st;
+}
+
+inline void halo2_body(Halo2State& st, int tid) {
+  Channel& out = (tid == 0) ? st.up : st.dn;
+  Channel& in = (tid == 0) ? st.dn : st.up;
+  const int peer = 1 - tid;
+  for (int step = 0; step < st.nsteps; ++step) {
+    post_packet(out, tid, step);
+    if (st.async) {
+      // Overlapped interior work between post and receive (the async
+      // engine's interior sweep). Separate accumulator: the final per-lane
+      // result is combined in a fixed order, so sync and async must agree
+      // bitwise across every schedule.
+      st.interior[tid] += 1e-3 * lane_value(tid, step, 0);
+      st.halo[tid] += st.rc[tid].consume(in, peer, step);
+    } else {
+      st.halo[tid] += st.rc[tid].consume(in, peer, step);
+      st.interior[tid] += 1e-3 * lane_value(tid, step, 0);
+    }
+  }
+}
+
+inline void halo2_check(Halo2State& st) {
+  for (int tid = 0; tid < 2; ++tid) {
+    double ref_halo = 0.0, ref_interior = 0.0;
+    for (int step = 0; step < st.nsteps; ++step) {
+      ref_halo += packet_sum(1 - tid, step);
+      ref_interior += 1e-3 * lane_value(tid, step, 0);
+    }
+    if (st.halo[tid] + st.interior[tid] != ref_halo + ref_interior)
+      throw InvariantViolation(
+          "lane result depends on the schedule (sync/async bitwise divergence)");
+    if (st.rc[tid].consumed != static_cast<std::uint64_t>(st.nsteps))
+      throw InvariantViolation("published buffers were not each consumed exactly once");
+  }
+}
+
+inline Scenario halo2_scenario(int nsteps, bool async, const char* name = nullptr) {
+  return make_scenario<Halo2State>(
+      name != nullptr ? name : (async ? "halo_async_2" : "halo_sync_2"),
+      async ? "2-lane async halo exchange (overlapped interior compute)"
+            : "2-lane sync halo exchange",
+      2,
+      [nsteps, async](Registrar& reg) { return halo2_setup(reg, nsteps, async); },
+      halo2_body, halo2_check);
+}
+
+// ---------------------------------------------------------------------------
+// Double-buffer reuse under backpressure: sender outruns the receiver and
+// must park on cv_send_ until release() recycles a slot.
+
+struct BackpressureState {
+  Channel ch;
+  int nposts = 4;
+  RecvCheck rc;
+  double halo = 0.0;
+};
+
+inline Scenario backpressure_scenario(int nposts) {
+  return make_scenario<BackpressureState>(
+      "backpressure", "double-buffer reuse: sender blocks on slot recycling", 2,
+      [nposts](Registrar& reg) {
+        auto st = std::make_shared<BackpressureState>();
+        st->ch.init(dd::Wire::fp64, kPlane);
+        st->nposts = nposts;
+        reg.channel(st->ch, "ch[0->1]");
+        return st;
+      },
+      [](BackpressureState& st, int tid) {
+        if (tid == 0)
+          for (int step = 0; step < st.nposts; ++step) post_packet(st.ch, 0, step);
+        else
+          for (int step = 0; step < st.nposts; ++step)
+            st.halo += st.rc.consume(st.ch, 0, step);
+      },
+      [](BackpressureState& st) {
+        double ref = 0.0;
+        for (int step = 0; step < st.nposts; ++step) ref += packet_sum(0, step);
+        if (st.halo != ref) throw InvariantViolation("backpressure: payload sum mismatch");
+        if (st.rc.consumed != static_cast<std::uint64_t>(st.nposts))
+          throw InvariantViolation("backpressure: publish/consume count mismatch");
+      });
+}
+
+// ---------------------------------------------------------------------------
+// close() racing a blocked waiter: the receiver parks on an empty channel
+// and the peer poisons it — in every schedule the receiver must unblock and
+// throw, never hang (a lost close-notification would deadlock here).
+
+struct CloseRaceState {
+  Channel ch;
+  bool receiver_threw = false;
+};
+
+inline Scenario close_waiter_scenario() {
+  return make_scenario<CloseRaceState>(
+      "close_waiter", "close() races a receiver blocked on an empty channel", 2,
+      [](Registrar& reg) {
+        auto st = std::make_shared<CloseRaceState>();
+        st->ch.init(dd::Wire::fp64, kPlane);
+        reg.channel(st->ch, "ch[0->1]");
+        return st;
+      },
+      [](CloseRaceState& st, int tid) {
+        if (tid == 0) {
+          st.ch.close();
+        } else {
+          try {
+            (void)st.ch.wait_packet();
+          } catch (const InvariantViolation&) {
+            throw;
+          } catch (const std::runtime_error&) {
+            st.receiver_threw = true;
+          }
+        }
+      },
+      [](CloseRaceState& st) {
+        if (!st.receiver_threw)
+          throw InvariantViolation("close() did not poison the blocked waiter");
+      });
+}
+
+// In-flight packet vs close(): data published before the poison must still
+// be deliverable (the failure cascade may not drop completed exchanges);
+// the wait after it must throw.
+
+struct ClosePostState {
+  Channel ch;
+  RecvCheck rc;
+  double halo = 0.0;
+  bool second_wait_threw = false;
+};
+
+inline Scenario close_racing_post_scenario() {
+  return make_scenario<ClosePostState>(
+      "close_racing_post", "close() chases one in-flight packet", 2,
+      [](Registrar& reg) {
+        auto st = std::make_shared<ClosePostState>();
+        st->ch.init(dd::Wire::fp64, kPlane);
+        reg.channel(st->ch, "ch[0->1]");
+        return st;
+      },
+      [](ClosePostState& st, int tid) {
+        if (tid == 0) {
+          post_packet(st.ch, 0, 0);
+          st.ch.close();
+        } else {
+          st.halo += st.rc.consume(st.ch, 0, 0);
+          try {
+            (void)st.ch.wait_packet();
+          } catch (const InvariantViolation&) {
+            throw;
+          } catch (const std::runtime_error&) {
+            st.second_wait_threw = true;
+          }
+        }
+      },
+      [](ClosePostState& st) {
+        if (st.rc.consumed != 1)
+          throw InvariantViolation("pre-close packet was not delivered");
+        if (!st.second_wait_threw)
+          throw InvariantViolation("post-close wait did not observe the poison");
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Drift-budget hard-fail mid-exchange: lane0 posts its halo, then detects a
+// drift overrun and hard-fails — closing both its channels exactly like
+// SlabEngine::close_lane_channels — while lane1's reply may still be in
+// flight and lane1 may be anywhere in its own exchange. Lane1 must either
+// finish the step (lane0's packet was already published, so delivery is
+// guaranteed) or observe the poison; the explorer proves no schedule
+// deadlocks. The post-run check then exercises reset()-after-poison
+// recovery on the same channels, with the dropped in-flight reply.
+
+struct DriftState {
+  Channel up, dn;
+  RecvCheck rc[2];
+  double halo[2] = {0.0, 0.0};
+  bool lane0_failed = false;
+  bool lane1_poisoned = false;
+  int completed1 = 0;  // steps lane1 fully finished
+};
+
+inline Scenario drift_fail_scenario() {
+  return make_scenario<DriftState>(
+      "drift_fail", "drift-budget hard-fail mid-exchange poisons both channels", 2,
+      [](Registrar& reg) {
+        auto st = std::make_shared<DriftState>();
+        st->up.init(dd::Wire::fp64, kPlane);
+        st->dn.init(dd::Wire::fp64, kPlane);
+        reg.channel(st->up, "ch[0->1]");
+        reg.channel(st->dn, "ch[1->0]");
+        return st;
+      },
+      [](DriftState& st, int tid) {
+        try {
+          if (tid == 0) {
+            post_packet(st.up, 0, 0);
+            // Drift overrun detected mid-exchange: hard-fail and cascade,
+            // mirroring SlabEngine's close_lane_channels. Lane1's reply on
+            // `dn` is abandoned in flight.
+            st.lane0_failed = true;
+            st.up.close();
+            st.dn.close();
+          } else {
+            post_packet(st.dn, 1, 0);
+            st.halo[1] += st.rc[1].consume(st.up, 0, 0);
+            ++st.completed1;
+          }
+        } catch (const InvariantViolation&) {
+          throw;
+        } catch (const std::runtime_error&) {
+          if (tid == 1) st.lane1_poisoned = true;
+        }
+      },
+      [](DriftState& st) {
+        if (!st.lane0_failed)
+          throw InvariantViolation("drift overrun path did not run");
+        if (!st.lane1_poisoned && st.completed1 != 1)
+          throw InvariantViolation(
+              "peer lane neither completed nor observed the poison cascade");
+        // reset()-after-poison recovery: both endpoints quiescent now; the
+        // channels must come back indistinguishable from fresh (modulo the
+        // running generation counter, so assert payload, not generations).
+        st.up.reset();
+        st.dn.reset();
+        for (Channel* ch : {&st.up, &st.dn}) {
+          const int s = ch->begin_post();
+          double* b = ch->buf64(s);
+          for (int k = 0; k < kPlane; ++k) b[k] = lane_value(9, 9, k);
+          ch->finish_post(s, Channel::Clock::now());
+          const int r = ch->wait_packet();
+          for (int k = 0; k < kPlane; ++k)
+            if (ch->cbuf64(r)[k] != lane_value(9, 9, k))
+              throw InvariantViolation("reset() recovery delivered a corrupted packet");
+          ch->release(r);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// reset()-after-poison reuse under exploration: channels are poisoned and
+// recovered *cold* in setup, then a full sync exchange must behave exactly
+// like on fresh channels, across every schedule.
+
+inline Scenario reset_reuse_scenario() {
+  return make_scenario<Halo2State>(
+      "reset_reuse", "poisoned-then-reset() channels behave like fresh ones", 2,
+      [](Registrar& reg) {
+        auto st = halo2_setup(reg, /*nsteps=*/1, /*async=*/false);
+        st->up.close();
+        st->dn.close();
+        st->up.reset();
+        st->dn.reset();
+        return st;
+      },
+      halo2_body, halo2_check);
+}
+
+// ---------------------------------------------------------------------------
+// 3- and 4-lane halo chains (non-periodic): each lane posts to every
+// neighbor before receiving from every neighbor, the real engine ordering
+// that makes the exchange deadlock-free. Channel objects live behind
+// unique_ptr because HaloChannel is not movable.
+
+struct ChainState {
+  int n = 3;
+  int nsteps = 1;
+  std::vector<std::unique_ptr<Channel>> fwd;  // i -> i+1
+  std::vector<std::unique_ptr<Channel>> bwd;  // i+1 -> i
+  std::vector<RecvCheck> rc_lo, rc_hi;        // per-lane: from left / from right
+  std::vector<double> halo;
+};
+
+inline Scenario chain_scenario(int nlanes, int nsteps) {
+  std::ostringstream nm;
+  nm << "halo_chain_" << nlanes;
+  return make_scenario<ChainState>(
+      nm.str(), "multi-lane halo chain, post-all-then-receive-all ordering", nlanes,
+      [nlanes, nsteps](Registrar& reg) {
+        auto st = std::make_shared<ChainState>();
+        st->n = nlanes;
+        st->nsteps = nsteps;
+        st->rc_lo.resize(static_cast<std::size_t>(nlanes));
+        st->rc_hi.resize(static_cast<std::size_t>(nlanes));
+        st->halo.assign(static_cast<std::size_t>(nlanes), 0.0);
+        for (int i = 0; i + 1 < nlanes; ++i) {
+          st->fwd.push_back(std::make_unique<Channel>());
+          st->bwd.push_back(std::make_unique<Channel>());
+          st->fwd.back()->init(dd::Wire::fp64, kPlane);
+          st->bwd.back()->init(dd::Wire::fp64, kPlane);
+          std::ostringstream f, b;
+          f << "ch[" << i << "->" << i + 1 << "]";
+          b << "ch[" << i + 1 << "->" << i << "]";
+          reg.channel(*st->fwd.back(), f.str());
+          reg.channel(*st->bwd.back(), b.str());
+        }
+        return st;
+      },
+      [](ChainState& st, int tid) {
+        const std::size_t u = static_cast<std::size_t>(tid);
+        for (int step = 0; step < st.nsteps; ++step) {
+          if (tid > 0) post_packet(*st.bwd[u - 1], tid, step);
+          if (tid + 1 < st.n) post_packet(*st.fwd[u], tid, step);
+          if (tid > 0) st.halo[u] += st.rc_lo[u].consume(*st.fwd[u - 1], tid - 1, step);
+          if (tid + 1 < st.n) st.halo[u] += st.rc_hi[u].consume(*st.bwd[u], tid + 1, step);
+        }
+      },
+      [](ChainState& st) {
+        for (int tid = 0; tid < st.n; ++tid) {
+          double ref = 0.0;
+          for (int step = 0; step < st.nsteps; ++step) {
+            if (tid > 0) ref += packet_sum(tid - 1, step);
+            if (tid + 1 < st.n) ref += packet_sum(tid + 1, step);
+          }
+          if (st.halo[static_cast<std::size_t>(tid)] != ref)
+            throw InvariantViolation("chain: lane halo sum depends on the schedule");
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// The suite. `quick` marks the scenarios the README verify step and the CI
+// time budget lean on; the per-scenario options keep the 3-4 lane sweeps
+// bounded (preemption bound + caps) while the acceptance-gate scenarios run
+// unbounded and exhaustive.
+
+struct ScenarioSpec {
+  Scenario scenario;
+  // Mirrors mc::ExploreOptions, duplicated here so this header stays usable
+  // in production builds where cooperative.hpp cannot be included.
+  int preemption_bound = -1;
+  long max_schedules = 200000;
+  double max_seconds = 45.0;
+  bool quick = false;
+};
+
+inline std::vector<ScenarioSpec> all_scenarios() {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back({halo2_scenario(2, false), -1, 200000, 45.0, true});
+  specs.push_back({halo2_scenario(2, true), -1, 200000, 45.0, true});
+  // One-step exchange: the sharpest lost-wakeup probe. A single dropped
+  // packet-published notify self-heals in the multi-step scenarios (the next
+  // publish re-wakes the parked receiver) but is fatal here, so the seeded
+  // drop_notify mutant leg runs against this one.
+  specs.push_back({halo2_scenario(1, false, "halo_sync_2_min"), -1, 50000, 15.0, true});
+  specs.push_back({backpressure_scenario(3), -1, 200000, 30.0, true});
+  specs.push_back({close_waiter_scenario(), -1, 50000, 15.0, true});
+  specs.push_back({close_racing_post_scenario(), -1, 50000, 15.0, false});
+  specs.push_back({drift_fail_scenario(), -1, 200000, 30.0, false});
+  specs.push_back({reset_reuse_scenario(), -1, 100000, 20.0, false});
+  specs.push_back({chain_scenario(3, 1), -1, 150000, 40.0, false});
+  specs.push_back({chain_scenario(4, 1), 2, 150000, 40.0, false});
+  return specs;
+}
+
+}  // namespace dftfe::mc::scenarios

@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   // Calibration probe: per-step compute with a free wire.
   dd::EngineOptions popt;
   popt.nlanes = lanes;
+  popt.grid = {1, 1, lanes};  // pin z-slabs: the ablation is calibrated on slab packets
   popt.mode = dd::EngineMode::sync;
   double step_compute = 0.0;
   {

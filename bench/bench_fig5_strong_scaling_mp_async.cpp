@@ -146,6 +146,7 @@ int main() {
     for (const int lanes : {1, 2, 4}) {
       dd::EngineOptions eopt;
       eopt.nlanes = lanes;
+      eopt.grid = {1, 1, lanes};  // pin z-slabs: this figure models the slab layout
       eopt.mode = dd::EngineMode::async;
       dd::SlabEngine<double> eng(edofh, eopt);
       eng.set_potential(eH.potential());

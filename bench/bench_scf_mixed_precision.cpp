@@ -171,6 +171,7 @@ int main(int argc, char** argv) {
     for (const Variant& var : kVariants) {
       ks::ScfOptions opt = base;
       opt.backend.nlanes = lanes;
+      opt.backend.grid = {1, 1, lanes};  // pin z-slabs (wire calibration assumes them)
       opt.backend.wire = var.wire;
       opt.mixed_precision = var.mixed;
       const ScfRun r = run_scf(dofh, opt, vext, nelec);
@@ -202,6 +203,7 @@ int main(int argc, char** argv) {
   // FP32/BF16 formats converts to end-to-end wall time.
   dd::EngineOptions popt;
   popt.nlanes = 4;
+  popt.grid = {1, 1, 4};
   popt.mode = dd::EngineMode::sync;
   double step_compute = 0.0;
   {
@@ -236,6 +238,7 @@ int main(int argc, char** argv) {
     const Variant& var = kVariants[vi];
     ks::ScfOptions opt = base;
     opt.backend.nlanes = 4;
+    opt.backend.grid = {1, 1, 4};
     opt.backend.mode = dd::EngineMode::sync;
     opt.backend.inject_wire_delay = true;
     opt.backend.model = net;
@@ -268,6 +271,7 @@ int main(int argc, char** argv) {
   const ScfRun c64 = run_scf(dofh, conv, vext, nelec);
   ks::ScfOptions conv32 = conv;
   conv32.backend.nlanes = 4;
+  conv32.backend.grid = {1, 1, 4};
   conv32.backend.wire = dd::Wire::fp32;
   conv32.mixed_precision = true;
   const ScfRun c32 = run_scf(dofh, conv32, vext, nelec);

@@ -139,7 +139,8 @@ int main(int argc, char** argv) {
     ks::ScfOptions opt = base;
     opt.backend.kind = dd::BackendKind::threaded;
     opt.backend.nlanes = lane_counts[li];
-    opt.backend.mode = dd::EngineMode::async;
+    opt.backend.grid = {1, 1, lane_counts[li]};  // pin z-slabs; bricks are
+    opt.backend.mode = dd::EngineMode::async;    // bench_scf_brick_scaling's job
     const ScfRun r = run_scf(dofh, opt, vext, nelec);
     wall_lanes[li] = r.wall;
     const double de = std::abs(r.res.energy.total - e_ref);
@@ -168,6 +169,7 @@ int main(int argc, char** argv) {
   // on every recurrence step.
   dd::EngineOptions popt;
   popt.nlanes = 4;
+  popt.grid = {1, 1, 4};
   popt.mode = dd::EngineMode::sync;
   double step_compute = 0.0;
   {
@@ -201,6 +203,7 @@ int main(int argc, char** argv) {
   ks::ScfOptions dopt = base;
   dopt.backend.kind = dd::BackendKind::threaded;
   dopt.backend.nlanes = 4;
+  dopt.backend.grid = {1, 1, 4};
   dopt.backend.inject_wire_delay = true;
   dopt.backend.model = net;
 

@@ -37,9 +37,11 @@ int main() {
   opt.scf.mp_block = 4;
 
   // Execution-backend selection from the environment, so the same binary
-  // serves the CI engine-scf-equivalence leg: DFTFE_BACKEND=threaded runs
-  // the whole solver stack on slab-rank lanes (DFTFE_NLANES picks the lane
-  // count); anything else keeps the serial backend. The remaining knobs
+  // serves the CI engine-scf-equivalence and brick-scf-equivalence legs:
+  // DFTFE_BACKEND=threaded runs the whole solver stack on brick-rank lanes.
+  // DFTFE_NLANES accepts either a total lane count ("8", factorized into a
+  // surface-minimizing brick grid) or an explicit grid ("2,2,2");
+  // anything else keeps the serial backend. The remaining knobs
   // drive the RunReport attribution demo (tests/report_diff_e2e.py):
   // DFTFE_WIRE selects the halo wire format (fp64 | fp32 | bf16; the
   // threaded default is fp32), DFTFE_ENGINE_MODE=sync exposes
@@ -49,7 +51,15 @@ int main() {
   if (const char* be = std::getenv("DFTFE_BACKEND"); be != nullptr &&
                                                      std::strcmp(be, "threaded") == 0) {
     opt.backend.kind = dd::BackendKind::threaded;
-    if (const char* nl = std::getenv("DFTFE_NLANES")) opt.backend.nlanes = std::atoi(nl);
+    if (const char* nl = std::getenv("DFTFE_NLANES")) {
+      int nx = 0, ny = 0, nz = 0;
+      if (std::sscanf(nl, "%d,%d,%d", &nx, &ny, &nz) == 3 && nx > 0 && ny > 0 && nz > 0) {
+        opt.backend.grid = {nx, ny, nz};
+        opt.backend.nlanes = nx * ny * nz;
+      } else {
+        opt.backend.nlanes = std::atoi(nl);
+      }
+    }
   }
   if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr) {
     if (std::strcmp(w, "fp64") == 0) {
@@ -79,8 +89,13 @@ int main() {
   std::printf("== DFT-FE-MLXC quickstart: Mg2 dimer, LDA ==\n");
   std::printf("backend: %s",
               opt.backend.kind == dd::BackendKind::threaded ? "threaded" : "serial");
-  if (opt.backend.kind == dd::BackendKind::threaded)
-    std::printf(" (%d lanes)", opt.backend.nlanes);
+  if (opt.backend.kind == dd::BackendKind::threaded) {
+    if (opt.backend.grid[0] > 0 && opt.backend.grid[1] > 0 && opt.backend.grid[2] > 0)
+      std::printf(" (%dx%dx%d brick lanes)", opt.backend.grid[0], opt.backend.grid[1],
+                  opt.backend.grid[2]);
+    else
+      std::printf(" (%d lanes)", opt.backend.nlanes);
+  }
   std::printf("\n");
   core::Simulation sim(std::move(st), opt);
   std::printf("atoms: %lld   electrons: %.0f   FE dofs: %lld (degree %d)\n",

@@ -26,6 +26,7 @@ ThreadedBackend<T>::ThreadedBackend(const fe::DofHandler& dofh, EngineOptions op
 static EngineOptions engine_options_from(const BackendOptions& opt) {
   EngineOptions eopt;
   eopt.nlanes = opt.nlanes;
+  eopt.grid = opt.grid;
   eopt.mode = opt.mode;
   eopt.wire = opt.wire;
   eopt.model = opt.model;

@@ -47,7 +47,12 @@ enum class BackendKind { serial, threaded };
 /// per k-point Hamiltonian plus one for the Poisson stiffness from these.
 struct BackendOptions {
   BackendKind kind = BackendKind::serial;
-  int nlanes = 2;                  // threaded: slab-rank lanes
+  int nlanes = 2;                  // threaded: total rank lanes (factorized into a grid)
+  // Explicit brick lane grid {nx, ny, nz} for the threaded backend. All-zero
+  // (the default) derives the grid from `nlanes` via
+  // BrickPartition::factorize; {1, 1, N} pins the historical z-slab layout.
+  // DFTFE_NLANES accepts either form: a total ("8") or a grid ("2,2,2").
+  std::array<int, 3> grid{0, 0, 0};
   EngineMode mode = EngineMode::async;
   // The halo wire defaults to FP32 under the threaded backend (Sec. 5.4.2:
   // reduced-precision partition-boundary communication is the default at
@@ -216,7 +221,7 @@ class ThreadedBackend final : public ExecBackend<T> {
   void apply(const la::Matrix<T>& X, la::Matrix<T>& Y) override { engine_.apply(X, Y); }
 
   void apply(const std::vector<T>& x, std::vector<T>& y) override {
-    const index_t n = engine_.partition().plane_size() * engine_.partition().nplanes();
+    const index_t n = engine_.partition().ndofs();
     la::Matrix<T>& X = vec_in_.acquire(n, 1);
     std::copy(x.begin(), x.begin() + n, X.data());
     la::Matrix<T>& Y = vec_out_.acquire(n, 1);

@@ -1,8 +1,9 @@
-// Cold control plane of the threaded rank engine: lane construction (slab
-// sub-meshes, segment operators, field slices, mailbox wiring), the job
-// broadcast protocol, failure cascade/reset, and stats collection. The hot
-// per-step data plane lives inline in engine.hpp so the invariant linter's
-// no-allocation rule covers exactly the code that runs per recurrence step.
+// Cold control plane of the threaded rank engine: lane construction (brick
+// sub-meshes, segment operators, field slices, run lists, mailbox wiring),
+// the job broadcast protocol, failure cascade/reset, the tree allreduce of
+// the gram partials, and stats collection. The hot per-step data plane lives
+// inline in engine.hpp so the invariant linter's no-allocation rule covers
+// exactly the code that runs per recurrence step.
 
 #include "dd/engine.hpp"
 
@@ -19,18 +20,37 @@
 
 namespace dftfe::dd {
 
+namespace {
+
+/// Append [dst, dst+len) <- [src, src+len) to a run list, merging with the
+/// previous run when both sides advance contiguously. Cold path only.
+template <class RunT>
+void push_run(std::vector<RunT>& runs, index_t dst, index_t src, index_t len) {
+  if (len <= 0) return;
+  if (!runs.empty() && runs.back().dst + runs.back().len == dst &&
+      runs.back().src + runs.back().len == src) {
+    runs.back().len += len;
+    return;
+  }
+  runs.push_back({dst, src, len});
+}
+
+}  // namespace
+
 template <class T>
-SlabEngine<T>::SlabEngine(const fe::DofHandler& dofh, EngineOptions opt)
+RankEngine<T>::RankEngine(const fe::DofHandler& dofh, EngineOptions opt)
     : dofh_(&dofh),
       opt_(opt),
-      part_(SlabPartition::cell_aligned(dofh, std::max(1, opt.nlanes))) {
-  plane_size_ = part_.plane_size();
+      part_(BrickPartition::cell_aligned(
+          dofh, (opt.grid[0] > 0 && opt.grid[1] > 0 && opt.grid[2] > 0)
+                    ? opt.grid
+                    : BrickPartition::factorize(dofh, std::max(1, opt.nlanes)))) {
   build_lanes();
   start_lanes();
 }
 
 template <class T>
-SlabEngine<T>::~SlabEngine() {
+RankEngine<T>::~RankEngine() {
   {
     sched::LockGuard lk(mu_);
     job_ = Job{};
@@ -43,27 +63,29 @@ SlabEngine<T>::~SlabEngine() {
 }
 
 template <class T>
-void SlabEngine<T>::build_lanes() {
+void RankEngine<T>::build_lanes() {
   const fe::Mesh& mesh = dofh_->mesh();
-  const bool zper = mesh.axis(2).periodic;
   const int R = part_.nranks();
   const int deg = dofh_->degree();
-  const index_t nplanes = part_.nplanes();
+  const std::array<int, 3>& grid = part_.grid();
+  index_t naxis[3];
+  bool per[3];
+  for (int a = 0; a < 3; ++a) {
+    naxis[a] = part_.naxis(a);
+    per[a] = part_.periodic(a);
+  }
 
-  // One channel pair per interface: up[i] carries the lower lane's top-plane
-  // partial to the upper lane, dn[i] the reverse. A periodic z axis adds the
-  // wrap interface (with R == 1 both endpoints are lane 0: a self-exchange,
-  // matching the single-rank periodic reference).
-  struct Iface {
-    int lo, hi;
-  };
-  std::vector<Iface> ifaces;
-  for (int r = 1; r < R; ++r) ifaces.push_back({r - 1, r});
-  if (zper) ifaces.push_back({R - 1, 0});
-  channels_.resize(2 * ifaces.size());
+  // One mailbox per (rank, direction): channel r*26 + di carries rank r's
+  // partial toward direction di; the receiver is neighbor(r, di) draining its
+  // opposite-direction mailbox. Inactive directions leave their channel
+  // unused (never init'd, never touched). A periodic axis with a single
+  // brick wires a direction's send channel back to the same lane
+  // (self-exchange), matching the slab engine's single-rank periodic wrap.
+  channels_.resize(static_cast<std::size_t>(R) * kDirs);
   for (auto& ch : channels_) ch = std::make_unique<HaloChannel<T>>();
-  auto up = [&](std::size_t i) { return channels_[2 * i].get(); };
-  auto dn = [&](std::size_t i) { return channels_[2 * i + 1].get(); };
+  auto chan = [&](int r, int di) {
+    return channels_[static_cast<std::size_t>(r) * kDirs + di].get();
+  };
 
   const auto& mass = dofh_->mass();
   const auto& bmask = dofh_->boundary_mask();
@@ -72,94 +94,185 @@ void SlabEngine<T>::build_lanes() {
   for (int r = 0; r < R; ++r) {
     lanes_[r] = std::make_unique<Lane>();
     Lane& ln = *lanes_[r];
-    const Slab& sl = part_.slab(r);
-    const index_t nc = sl.c_end - sl.c_begin;
+    const Brick& bk = part_.brick(r);
+    const std::array<int, 3> c = part_.coords(r);
     ln.rank = r;
-    ln.lower.active = (r > 0) || zper;
-    ln.upper.active = (r < R - 1) || zper;
-    ln.nplanes_loc = nc * deg + 1;
-    ln.nloc = ln.nplanes_loc * plane_size_;
-    ln.own_plane_end = ln.nplanes_loc - (ln.upper.active ? 1 : 0);
-    // Owned rows are globally contiguous starting at the slab's first plane
-    // (only a wrap lane's excluded top ghost maps non-contiguously), which is
-    // what lets gram/density jobs span the global buffers without a gather.
-    ln.grow0 = sl.z_begin * plane_size_;
 
-    // Local plane -> global plane; only the wrap lane's top ghost plane maps
-    // non-contiguously (to global plane 0).
-    ln.gplane.resize(ln.nplanes_loc);
-    for (index_t lp = 0; lp < ln.nplanes_loc; ++lp) {
-      index_t gp = sl.z_begin + lp;
-      if (zper && gp >= nplanes) gp -= nplanes;
-      ln.gplane[lp] = gp;
+    index_t nc[3];
+    bool lo_act[3], hi_act[3];
+    for (int a = 0; a < 3; ++a) {
+      nc[a] = bk.c_end[a] - bk.c_begin[a];
+      ln.m[a] = nc[a] * deg + 1;  // closed dof box: upper layer is ghost when shared
+      lo_act[a] = (c[a] > 0) || per[a];
+      hi_act[a] = (c[a] < grid[a] - 1) || per[a];
+      ln.own[a] = ln.m[a] - (hi_act[a] ? 1 : 0);
+    }
+    const index_t m0 = ln.m[0], m1 = ln.m[1], m2 = ln.m[2];
+    ln.nloc = m0 * m1 * m2;
+    ln.nown = ln.own[0] * ln.own[1] * ln.own[2];
+
+    // Local dof -> global dof (wrap-aware: a periodic axis' closing ghost
+    // layer maps back to global layer 0).
+    ln.gmap.resize(static_cast<std::size_t>(ln.nloc));
+    {
+      index_t l = 0;
+      for (index_t k = 0; k < m2; ++k)
+        for (index_t j = 0; j < m1; ++j)
+          for (index_t i = 0; i < m0; ++i, ++l) {
+            const index_t loc[3] = {i, j, k};
+            index_t gi[3];
+            for (int a = 0; a < 3; ++a) {
+              gi[a] = bk.c_begin[a] * deg + loc[a];
+              if (per[a] && gi[a] >= naxis[a]) gi[a] -= naxis[a];
+            }
+            ln.gmap[static_cast<std::size_t>(l)] = gi[0] + naxis[0] * (gi[1] + naxis[1] * gi[2]);
+          }
+    }
+    ln.grow0 = ln.gmap[0];
+    // On a {1, 1, N} grid the owned rows are one contiguous global range
+    // (full x/y extent per plane, consecutive planes) — the slab fast path
+    // for gram/density spans over the global blocks.
+    ln.contiguous_owned = (grid[0] == 1 && grid[1] == 1);
+
+    // Run lists (maximal both-sides-contiguous row ranges). For slab-shaped
+    // lanes these collapse to a handful of whole-plane-range runs, making the
+    // hot copies identical to the historical plane arithmetic.
+    for (index_t l = 0; l < ln.nloc; ++l)
+      push_run(ln.gather_runs, l, ln.gmap[static_cast<std::size_t>(l)], 1);
+    for (index_t k = 0; k < ln.own[2]; ++k)
+      for (index_t j = 0; j < ln.own[1]; ++j)
+        for (index_t i = 0; i < ln.own[0]; ++i) {
+          const index_t l = i + m0 * (j + m1 * k);
+          push_run(ln.owned_runs, ln.gmap[static_cast<std::size_t>(l)], l, 1);
+        }
+
+    // Slices of the *global* nodal fields. A brick-local DofHandler's own
+    // mass/boundary data would be wrong on interface layers (it sees only
+    // one side's cells and fabricates a Dirichlet face there).
+    ln.ims.resize(static_cast<std::size_t>(ln.nloc));
+    ln.bmask.resize(static_cast<std::size_t>(ln.nloc));
+    ln.veff.assign(static_cast<std::size_t>(ln.nloc), 0.0);
+    for (index_t l = 0; l < ln.nloc; ++l) {
+      const index_t g = ln.gmap[static_cast<std::size_t>(l)];
+      ln.ims[static_cast<std::size_t>(l)] = 1.0 / std::sqrt(mass[g]);
+      ln.bmask[static_cast<std::size_t>(l)] = bmask[g];
     }
 
-    // Slices of the *global* nodal fields. The slab-local DofHandler's own
-    // mass/boundary data would be wrong on interface planes (it sees only
-    // one side's cells and fabricates a Dirichlet face there).
-    ln.ims.resize(ln.nloc);
-    ln.bmask.resize(ln.nloc);
-    ln.veff.assign(ln.nloc, 0.0);
-    for (index_t lp = 0; lp < ln.nplanes_loc; ++lp)
-      for (index_t i = 0; i < plane_size_; ++i) {
-        const index_t g = ln.gplane[lp] * plane_size_ + i;
-        ln.ims[lp * plane_size_ + i] = 1.0 / std::sqrt(mass[g]);
-        ln.bmask[lp * plane_size_ + i] = bmask[g];
-      }
-
-    // Segment the slab's cell layers: one boundary layer per active
-    // interface (computed first so halo partials post early), interior bulk
-    // in between. A single-layer slab collapses to one boundary segment.
-    struct SegRange {
+    // Segment the brick's cells: per axis, one boundary cell layer per
+    // active interface plus the interior bulk; the cross product gives up to
+    // 27 segments per lane. Boundary segments (any axis on an interface
+    // layer) are computed first in lane_fused_step so the halo partials
+    // leave as early as possible.
+    struct AxisRange {
       index_t s0, s1;
       bool boundary;
     };
-    std::vector<SegRange> ranges;
-    const bool lb = ln.lower.active, ub = ln.upper.active;
-    if (nc == 1) {
-      ranges.push_back({0, 1, lb || ub});
-    } else {
-      if (lb) ranges.push_back({0, 1, true});
-      if (ub) ranges.push_back({nc - 1, nc, true});
-      const index_t i0 = lb ? 1 : 0, i1 = nc - (ub ? 1 : 0);
-      if (i0 < i1) ranges.push_back({i0, i1, false});
+    std::array<std::vector<AxisRange>, 3> ranges;
+    for (int a = 0; a < 3; ++a) {
+      const bool lb = lo_act[a], ub = hi_act[a];
+      if (nc[a] == 1) {
+        ranges[a].push_back({0, 1, lb || ub});
+      } else {
+        if (lb) ranges[a].push_back({0, 1, true});
+        if (ub) ranges[a].push_back({nc[a] - 1, nc[a], true});
+        const index_t i0 = lb ? 1 : 0, i1 = nc[a] - (ub ? 1 : 0);
+        if (i0 < i1) ranges[a].push_back({i0, i1, false});
+      }
     }
-    ln.segments.resize(ranges.size());
-    for (std::size_t s = 0; s < ranges.size(); ++s) {
-      Segment& sg = ln.segments[s];
-      sg.boundary = ranges[s].boundary;
-      sg.mesh = std::make_unique<fe::Mesh>(
-          fe::make_slab_mesh(mesh, sl.c_begin + ranges[s].s0, sl.c_begin + ranges[s].s1));
-      sg.dofh = std::make_unique<fe::DofHandler>(*sg.mesh, deg);
-      sg.op = std::make_unique<fe::CellStiffness<T>>(*sg.dofh, opt_.coef_lap, opt_.kpoint);
-      sg.row0 = ranges[s].s0 * deg * plane_size_;
-      sg.nrows = sg.dofh->ndofs();
-      if (sg.nrows != ((ranges[s].s1 - ranges[s].s0) * deg + 1) * plane_size_)
-        throw std::logic_error("SlabEngine: segment dof layout mismatch");
+    ln.segments.resize(ranges[0].size() * ranges[1].size() * ranges[2].size());
+    std::size_t si = 0;
+    for (const AxisRange& rz : ranges[2])
+      for (const AxisRange& ry : ranges[1])
+        for (const AxisRange& rx : ranges[0]) {
+          Segment& sg = ln.segments[si++];
+          sg.boundary = rx.boundary || ry.boundary || rz.boundary;
+          sg.mesh = std::make_unique<fe::Mesh>(fe::make_brick_mesh(
+              mesh, bk.c_begin[0] + rx.s0, bk.c_begin[0] + rx.s1, bk.c_begin[1] + ry.s0,
+              bk.c_begin[1] + ry.s1, bk.c_begin[2] + rz.s0, bk.c_begin[2] + rz.s1));
+          sg.dofh = std::make_unique<fe::DofHandler>(*sg.mesh, deg);
+          sg.op = std::make_unique<fe::CellStiffness<T>>(*sg.dofh, opt_.coef_lap,
+                                                         opt_.kpoint);
+          sg.nrows = sg.dofh->ndofs();
+          const index_t sm0 = (rx.s1 - rx.s0) * deg + 1;
+          const index_t sm1 = (ry.s1 - ry.s0) * deg + 1;
+          const index_t sm2 = (rz.s1 - rz.s0) * deg + 1;
+          if (sg.nrows != sm0 * sm1 * sm2)
+            throw std::logic_error("RankEngine: segment dof layout mismatch");
+          for (index_t sk = 0; sk < sm2; ++sk)
+            for (index_t sj = 0; sj < sm1; ++sj)
+              push_run(sg.runs, sm0 * (sj + sm1 * sk),
+                       rx.s0 * deg + m0 * ((ry.s0 * deg + sj) + m1 * (rz.s0 * deg + sk)),
+                       sm0);
+        }
+
+    // Mailbox wiring + shared-region run lists for all 26 directions. The
+    // send region in direction d is this brick's closed boundary layer
+    // toward d (axis -1 -> layer 0, axis +1 -> layer m-1, axis 0 -> full
+    // extent); the receiver accumulates it into its mirrored region, which
+    // covers the same global dofs. Because cells are disjoint across lanes,
+    // summing every sharer's partial assembles shared dofs exactly.
+    for (int di = 0; di < kDirs; ++di) {
+      const std::array<int, 3> d = dir_of(di);
+      const int nbr = part_.neighbor(r, d[0], d[1], d[2]);
+      Neighbor& nb = ln.nb[static_cast<std::size_t>(di)];
+      if (nbr < 0) continue;
+      nb.active = true;
+      nb.send = chan(r, di);
+      nb.recv = chan(nbr, opposite(di));
+      index_t lo[3], hi[3];
+      for (int a = 0; a < 3; ++a) {
+        lo[a] = (d[a] > 0) ? ln.m[a] - 1 : 0;
+        hi[a] = (d[a] < 0) ? 1 : ln.m[a];
+      }
+      nb.count = (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+      index_t off = 0;
+      for (index_t k = lo[2]; k < hi[2]; ++k)
+        for (index_t j = lo[1]; j < hi[1]; ++j) {
+          push_run(nb.runs, off, lo[0] + m0 * (j + m1 * k), hi[0] - lo[0]);
+          off += hi[0] - lo[0];
+        }
     }
 
-    // Mailbox wiring (see the Iface comment for channel orientation).
-    if (ln.upper.active) {
-      const std::size_t i = (r < R - 1) ? static_cast<std::size_t>(r) : ifaces.size() - 1;
-      ln.upper.send = up(i);
-      ln.upper.recv = dn(i);
-    }
-    if (ln.lower.active) {
-      const std::size_t i = (r > 0) ? static_cast<std::size_t>(r - 1) : ifaces.size() - 1;
-      ln.lower.send = dn(i);
-      ln.lower.recv = up(i);
-    }
+    // Epilogue row ranges: interior rows (no axis on a shared layer) can be
+    // epilogued before the async receives land; shell rows wait for every
+    // neighbor's partial. Stored as merged contiguous ranges; on a slab lane
+    // they collapse to the historical [P, nloc-P) / [0, P) / [nloc-P, nloc).
+    const index_t il[3] = {lo_act[0] ? 1 : 0, lo_act[1] ? 1 : 0, lo_act[2] ? 1 : 0};
+    const index_t ih[3] = {m0 - (hi_act[0] ? 1 : 0), m1 - (hi_act[1] ? 1 : 0),
+                           m2 - (hi_act[2] ? 1 : 0)};
+    auto add_box = [&](std::vector<std::pair<index_t, index_t>>& out, index_t x0,
+                       index_t x1, index_t y0, index_t y1, index_t z0, index_t z1) {
+      if (x0 >= x1 || y0 >= y1 || z0 >= z1) return;
+      for (index_t k = z0; k < z1; ++k)
+        for (index_t j = y0; j < y1; ++j) {
+          const index_t r0 = x0 + m0 * (j + m1 * k);
+          const index_t r1 = r0 + (x1 - x0);
+          if (!out.empty() && out.back().second == r0)
+            out.back().second = r1;
+          else
+            out.emplace_back(r0, r1);
+        }
+    };
+    add_box(ln.interior_rows, il[0], ih[0], il[1], ih[1], il[2], ih[2]);
+    // Disjoint shell cover: x-extreme layers first, then y-extremes with x
+    // interior, then z-extremes with x/y interior.
+    if (lo_act[0]) add_box(ln.shell_rows, 0, 1, 0, m1, 0, m2);
+    if (hi_act[0]) add_box(ln.shell_rows, m0 - 1, m0, 0, m1, 0, m2);
+    if (lo_act[1]) add_box(ln.shell_rows, il[0], ih[0], 0, 1, 0, m2);
+    if (hi_act[1]) add_box(ln.shell_rows, il[0], ih[0], m1 - 1, m1, 0, m2);
+    if (lo_act[2]) add_box(ln.shell_rows, il[0], ih[0], il[1], ih[1], 0, 1);
+    if (hi_act[2]) add_box(ln.shell_rows, il[0], ih[0], il[1], ih[1], m2 - 1, m2);
   }
 }
 
 template <class T>
-void SlabEngine<T>::start_lanes() {
+void RankEngine<T>::start_lanes() {
   for (int r = 0; r < static_cast<int>(lanes_.size()); ++r)
     lanes_[r]->th = std::thread([this, r] { lane_main(r); });
 }
 
 template <class T>
-void SlabEngine<T>::lane_main(int r) {
+void RankEngine<T>::lane_main(int r) {
 #ifdef _OPENMP
   // The cell kernels' inner `omp parallel for` must not spawn a team per
   // lane: lane-level concurrency replaces OpenMP scaling inside the engine.
@@ -196,22 +309,19 @@ void SlabEngine<T>::lane_main(int r) {
 }
 
 template <class T>
-void SlabEngine<T>::close_lane_channels(Lane& ln) {
-  if (ln.lower.active) {
-    ln.lower.send->close();
-    ln.lower.recv->close();
-  }
-  if (ln.upper.active) {
-    ln.upper.send->close();
-    ln.upper.recv->close();
-  }
+void RankEngine<T>::close_lane_channels(Lane& ln) {
+  for (Neighbor& nb : ln.nb)
+    if (nb.active) {
+      nb.send->close();
+      nb.recv->close();
+    }
 }
 
 template <class T>
-void SlabEngine<T>::run_job(int r, const Job& job) {
+void RankEngine<T>::run_job(int r, const Job& job) {
   Lane& ln = *lanes_[r];
   if (job.fault_lane == r)
-    throw std::runtime_error("dd::SlabEngine: injected lane fault");
+    throw std::runtime_error("dd::RankEngine: injected lane fault");
   // Per-job demotion error budget: snapshot the drift accumulators so the
   // check below sees exactly this job's wire traffic.
   const double n32 = ln.wire.drift_num, d32 = ln.wire.drift_den;
@@ -239,12 +349,13 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
       break;
     case JobKind::pulse: {
       // Minimal halo round: every lane posts to and receives from each
-      // active neighbor once. Used by the fault-propagation stress tests.
+      // active neighbor once, in the fixed direction order. Used by the
+      // fault-propagation stress tests.
       la::Matrix<T>& Yl = ln.yb.acquire_zeroed(ln.nloc, 1);
-      post_halo(ln, ln.lower, Yl, 0);
-      post_halo(ln, ln.upper, Yl, ln.nloc - plane_size_);
-      ln.steps[0].wait = recv_halo(ln, ln.lower, Yl, 0) +
-                         recv_halo(ln, ln.upper, Yl, ln.nloc - plane_size_);
+      for (Neighbor& nb : ln.nb) post_halo(ln, nb, Yl);
+      double waited = 0.0;
+      for (Neighbor& nb : ln.nb) waited += recv_halo(ln, nb, Yl);
+      ln.steps[0].wait = waited;
       break;
     }
     default:
@@ -265,7 +376,7 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
             : 0.0;
     const double worst = std::max(r32, rbf);
     if (!(worst <= opt_.drift_budget))
-      throw std::runtime_error(std::string("dd::SlabEngine lane ") + std::to_string(r) +
+      throw std::runtime_error(std::string("dd::RankEngine lane ") + std::to_string(r) +
                                ": wire demotion drift " + std::to_string(worst) +
                                " exceeds drift_budget " + std::to_string(opt_.drift_budget) +
                                " in job '" + job_name(job.kind) + "'");
@@ -273,7 +384,7 @@ void SlabEngine<T>::run_job(int r, const Job& job) {
 }
 
 template <class T>
-const char* SlabEngine<T>::job_name(JobKind kind) {
+const char* RankEngine<T>::job_name(JobKind kind) {
   switch (kind) {
     case JobKind::apply: return "apply";
     case JobKind::filter: return "filter";
@@ -286,14 +397,14 @@ const char* SlabEngine<T>::job_name(JobKind kind) {
 }
 
 template <class T>
-void SlabEngine<T>::submit(Job job) {
+void RankEngine<T>::submit(Job job) {
   job.mode = opt_.mode;
   sched::UniqueLock lk(mu_);
   if (job_active_) {
     // A second submit while a job is in flight would overwrite job_ and
     // done_count_ under the lanes, turning into a silent mailbox deadlock.
     // Fail loudly instead, naming both jobs; the in-flight job is untouched.
-    throw std::logic_error(std::string("dd::SlabEngine::submit: job '") +
+    throw std::logic_error(std::string("dd::RankEngine::submit: job '") +
                            job_name(job.kind) + "' submitted while job '" +
                            job_name(job_.kind) +
                            "' is in flight (public entry points must be called "
@@ -319,20 +430,24 @@ void SlabEngine<T>::submit(Job job) {
 }
 
 template <class T>
-void SlabEngine<T>::ensure_wire_capacity(index_t ncols) {
-  const index_t count = plane_size_ * ncols;
-  for (auto& ch : channels_) ch->init(opt_.wire, count);
+void RankEngine<T>::ensure_wire_capacity(index_t ncols) {
+  // Per-direction packet sizes: a face carries a full boundary plane, an
+  // edge a line, a corner a single dof — each channel is sized for exactly
+  // its shared region.
+  for (auto& lp : lanes_)
+    for (Neighbor& nb : lp->nb)
+      if (nb.active) nb.send->init(opt_.wire, nb.count * ncols);
 }
 
 template <class T>
-void SlabEngine<T>::ensure_step_storage(int nsteps) {
+void RankEngine<T>::ensure_step_storage(int nsteps) {
   for (auto& ln : lanes_)
     if (ln->steps.size() < static_cast<std::size_t>(nsteps))
       ln->steps.resize(static_cast<std::size_t>(nsteps));
 }
 
 template <class T>
-void SlabEngine<T>::collect_step_stats(int nsteps) {
+void RankEngine<T>::collect_step_stats(int nsteps) {
   step_stats_.assign(static_cast<std::size_t>(nsteps), EngineStepStats{});
   for (int k = 0; k < nsteps; ++k) {
     EngineStepStats& st = step_stats_[static_cast<std::size_t>(k)];
@@ -345,7 +460,7 @@ void SlabEngine<T>::collect_step_stats(int nsteps) {
 }
 
 template <class T>
-void SlabEngine<T>::publish_job_metrics(int nsteps) {
+void RankEngine<T>::publish_job_metrics(int nsteps) {
   obs::MetricsRegistry& m = obs::MetricsRegistry::global();
   std::int64_t d64b = 0, d32b = 0, d64m = 0, d32m = 0;
   std::int64_t dbfb = 0, dbfm = 0;
@@ -379,6 +494,7 @@ void SlabEngine<T>::publish_job_metrics(int nsteps) {
     // Lane working-set high water: every persistent WorkMatrix the lane owns.
     std::int64_t hw = ln.sl.highwater_bytes() + ln.xb.highwater_bytes() +
                       ln.yb.highwater_bytes() + ln.zb.highwater_bytes() +
+                      ln.ga.highwater_bytes() + ln.gb.highwater_bytes() +
                       ln.gram.highwater_bytes();
     for (const Segment& sg : ln.segments)
       hw += sg.xs.highwater_bytes() + sg.ys.highwater_bytes();
@@ -407,21 +523,20 @@ void SlabEngine<T>::publish_job_metrics(int nsteps) {
 }
 
 template <class T>
-void SlabEngine<T>::set_potential(const std::vector<double>& v_eff) {
+void RankEngine<T>::set_potential(const std::vector<double>& v_eff) {
   if (static_cast<index_t>(v_eff.size()) < dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::set_potential: field too short");
+    throw std::invalid_argument("RankEngine::set_potential: field too short");
   for (auto& lp : lanes_) {
     Lane& ln = *lp;
-    for (index_t p = 0; p < ln.nplanes_loc; ++p)
-      for (index_t i = 0; i < plane_size_; ++i)
-        ln.veff[p * plane_size_ + i] = v_eff[ln.gplane[p] * plane_size_ + i];
+    for (index_t l = 0; l < ln.nloc; ++l)
+      ln.veff[static_cast<std::size_t>(l)] = v_eff[ln.gmap[static_cast<std::size_t>(l)]];
   }
 }
 
 template <class T>
-void SlabEngine<T>::apply(const la::Matrix<T>& X, la::Matrix<T>& Y) {
+void RankEngine<T>::apply(const la::Matrix<T>& X, la::Matrix<T>& Y) {
   if (X.rows() != dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::apply: row count mismatch");
+    throw std::invalid_argument("RankEngine::apply: row count mismatch");
   Y.reshape(X.rows(), X.cols());
   ensure_wire_capacity(X.cols());
   ensure_step_storage(1);
@@ -435,13 +550,13 @@ void SlabEngine<T>::apply(const la::Matrix<T>& X, la::Matrix<T>& Y) {
 }
 
 template <class T>
-void SlabEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
+void RankEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
                                  int degree, double a, double b, double a0) {
   if (X.rows() != dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::filter_block: row count mismatch");
+    throw std::invalid_argument("RankEngine::filter_block: row count mismatch");
   if (col0 < 0 || ncols < 1 || col0 + ncols > X.cols())
-    throw std::invalid_argument("SlabEngine::filter_block: bad column range");
-  if (degree < 1) throw std::invalid_argument("SlabEngine::filter_block: degree >= 1");
+    throw std::invalid_argument("RankEngine::filter_block: bad column range");
+  if (degree < 1) throw std::invalid_argument("RankEngine::filter_block: degree >= 1");
   ensure_wire_capacity(ncols);
   ensure_step_storage(degree);
   Job j;
@@ -459,12 +574,12 @@ void SlabEngine<T>::filter_block(la::Matrix<T>& X, index_t col0, index_t ncols,
 }
 
 template <class T>
-void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
+void RankEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
                             la::Matrix<T>& S, index_t mp_block, bool mixed) {
   if (A.rows() != dofh_->ndofs() || B.rows() != dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::overlap: row count mismatch");
+    throw std::invalid_argument("RankEngine::overlap: row count mismatch");
   if (A.cols() != B.cols())
-    throw std::invalid_argument("SlabEngine::overlap: column count mismatch");
+    throw std::invalid_argument("RankEngine::overlap: column count mismatch");
   ensure_step_storage(1);
   Job j;
   j.kind = JobKind::gram;
@@ -476,7 +591,7 @@ void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
   collect_step_stats(1);
   const index_t N = A.cols();
   // Multi-lane mixed gram reduction over the FP32 gram wire: before the
-  // ordered sum, each lane's strictly-upper off-diagonal tiles round-trip
+  // tree sum, each lane's strictly-upper off-diagonal tiles round-trip
   // through FP32 storage — the values genuinely pass through the reduced
   // precision whose bytes lane_gram accounts in the allreduce payload. The
   // gram wire is FP32 even under a BF16 halo wire (the paper's
@@ -510,30 +625,43 @@ void SlabEngine<T>::overlap(const la::Matrix<T>& A, const la::Matrix<T>& B,
     }
   }
   publish_job_metrics(1);
-  // Deterministic-order reduction of the slab partials (lane 0..R-1, exactly
-  // the ordered allreduce a reproducible distributed run pins down), then one
-  // Hermitian completion over the summed upper block triangle.
+  // Tree allreduce of the brick partials: stride-doubling pairwise sums over
+  // the lane grid — the deterministic log2-depth association order a real
+  // recursive-doubling allreduce pins down (and the one
+  // CommModel::allreduce_time charges). Lanes are parked, so the driver may
+  // sum their gram buffers in place; lane 0's buffer ends up holding the
+  // total.
+  {
+    obs::TraceSpan span("Gram-tree", "dd", 0);
+    const int R = static_cast<int>(lanes_.size());
+    for (int stride = 1; stride < R; stride *= 2)
+      for (int base = 0; base + stride < R; base += 2 * stride) {
+        la::Matrix<T>& Acc = lanes_[static_cast<std::size_t>(base)]->gram.get();
+        const la::Matrix<T>& Gp =
+            lanes_[static_cast<std::size_t>(base + stride)]->gram.get();
+        T* s = Acc.data();
+        const T* g = Gp.data();
+        for (index_t i = 0; i < N * N; ++i) s[i] += g[i];
+      }
+  }
   S.reshape(N, N);
-  S.zero();
-  for (auto& lp : lanes_) {
-    const la::Matrix<T>& G = lp->gram.get();
-    T* s = S.data();
-    const T* g = G.data();
-    for (index_t i = 0; i < N * N; ++i) s[i] += g[i];
+  {
+    const la::Matrix<T>& G0 = lanes_[0]->gram.get();
+    std::copy(G0.data(), G0.data() + N * N, S.data());
   }
   la::overlap_hermitian_complete(S, mp_block);
 }
 
 template <class T>
-void SlabEngine<T>::accumulate_density(const la::Matrix<T>& X,
+void RankEngine<T>::accumulate_density(const la::Matrix<T>& X,
                                        const std::vector<double>& occ, double weight,
                                        std::vector<double>& rho) {
   if (X.rows() != dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::accumulate_density: row count mismatch");
+    throw std::invalid_argument("RankEngine::accumulate_density: row count mismatch");
   if (static_cast<index_t>(occ.size()) < X.cols())
-    throw std::invalid_argument("SlabEngine::accumulate_density: occupations too short");
+    throw std::invalid_argument("RankEngine::accumulate_density: occupations too short");
   if (static_cast<index_t>(rho.size()) != dofh_->ndofs())
-    throw std::invalid_argument("SlabEngine::accumulate_density: rho size mismatch");
+    throw std::invalid_argument("RankEngine::accumulate_density: rho size mismatch");
   ensure_step_storage(1);
   Job j;
   j.kind = JobKind::density;
@@ -547,7 +675,7 @@ void SlabEngine<T>::accumulate_density(const la::Matrix<T>& X,
 }
 
 template <class T>
-CommStats SlabEngine<T>::comm_stats() const {
+CommStats RankEngine<T>::comm_stats() const {
   CommStats total;
   for (const auto& ln : lanes_) {
     total.bytes += ln->comm.bytes;
@@ -559,7 +687,7 @@ CommStats SlabEngine<T>::comm_stats() const {
 }
 
 template <class T>
-WireStats SlabEngine<T>::wire_stats() const {
+WireStats RankEngine<T>::wire_stats() const {
   WireStats total;
   for (const auto& ln : lanes_) {
     total.fp64_bytes += ln->wire.fp64_bytes;
@@ -577,7 +705,7 @@ WireStats SlabEngine<T>::wire_stats() const {
 }
 
 template <class T>
-void SlabEngine<T>::clear_comm_stats() {
+void RankEngine<T>::clear_comm_stats() {
   for (auto& ln : lanes_) {
     ln->comm = CommStats{};
     ln->wire = WireStats{};
@@ -588,9 +716,9 @@ void SlabEngine<T>::clear_comm_stats() {
 }
 
 template <class T>
-void SlabEngine<T>::debug_fault(int lane) {
+void RankEngine<T>::debug_fault(int lane) {
   if (lane < 0 || lane >= nlanes())
-    throw std::invalid_argument("SlabEngine::debug_fault: bad lane");
+    throw std::invalid_argument("RankEngine::debug_fault: bad lane");
   ensure_wire_capacity(1);
   ensure_step_storage(1);
   Job j;
@@ -599,7 +727,7 @@ void SlabEngine<T>::debug_fault(int lane) {
   submit(j);
 }
 
-template class SlabEngine<double>;
-template class SlabEngine<complex_t>;
+template class RankEngine<double>;
+template class RankEngine<complex_t>;
 
 }  // namespace dftfe::dd

@@ -1,26 +1,33 @@
 #pragma once
 
-// Threaded multi-rank slab execution engine — the paper's asynchronous
+// Threaded multi-rank brick execution engine — the paper's asynchronous
 // compute/communication overlap (Sec. 5.4.2–5.4.3) executed for real instead
-// of simulated. Each rank of a cell-aligned SlabPartition becomes a
-// std::thread "lane" that owns one z-slab of the operator:
+// of simulated. Each rank of a cell-aligned BrickPartition (an nx x ny x nz
+// lane grid; a 1 x 1 x N grid is exactly the historical z-slab layout)
+// becomes a std::thread "lane" that owns one brick of the operator:
 //
-//   * its own sub-mesh DofHandler and CellStiffness segments (a one-layer
-//     boundary segment per interface plus the interior bulk), so the
-//     cell-level batched-GEMM kernels of fe/cell_ops.hpp run unchanged on
-//     the slab;
+//   * its own sub-mesh DofHandler and CellStiffness segments (one-layer
+//     boundary segments along every active face plus the interior bulk), so
+//     the cell-level batched-GEMM kernels of fe/cell_ops.hpp run unchanged on
+//     the brick;
 //   * lane-local slices of the global mass / potential / boundary-mask nodal
-//     fields (sliced from the *global* DofHandler — a slab-local assembly
-//     would be wrong on interface planes);
+//     fields (sliced from the *global* DofHandler — a brick-local assembly
+//     would be wrong on interface layers);
 //   * persistent per-lane workspace blocks (la::WorkMatrix), so the steady
 //     state of the recurrence allocates nothing after lane startup.
 //
 // Halo exchange goes through double-buffered HaloChannel mailboxes
-// (dd/mailbox.hpp) carrying the partition-interface *partial sums* of the
-// kinetic apply in the exact FP64/FP32/BF16 wire format of dd/exchange.hpp.
-// Both
-// execution modes run the same arithmetic in the same order — only the
-// position of the receive differs:
+// (dd/mailbox.hpp), one channel per (lane, direction): every lane posts to
+// and drains up to 26 neighbors — 6 faces, 12 edges, 8 corners — carrying the
+// closed-intersection *partial sums* of the kinetic apply in the exact
+// FP64/FP32/BF16 wire format of dd/exchange.hpp. Because cells are
+// partitioned disjointly, summing every sharer's partial assembles each
+// shared dof exactly: a face dof (2 sharers) adds 1 received partial, an
+// edge dof (4 sharers) adds 3 — two through face packets, one through the
+// edge packet — and a corner dof (8 sharers) adds 7. Both execution modes
+// run the same arithmetic in the same fixed neighbor order (dz-major
+// ascending, posts and receives alike) — only the position of the receive
+// differs:
 //
 //   sync  : boundary compute -> post halos -> WAIT -> interior compute
 //           -> epilogue                             (exposed wire time)
@@ -33,13 +40,20 @@
 // dd/pipeline.hpp's simulate_sync/simulate_overlap now serve as analytic
 // bounds on these measured times).
 //
-// Numerics: with the FP64 wire, interface partial sums combine as a + b on
-// one side and b + a on the other (IEEE addition is commutative), so ghost
-// planes stay bitwise consistent across lanes and the engine matches the
-// undecomposed reference apply to FP-association order (~1e-15); with the
-// FP32 wire each side adds the *other* side's demoted partial to its own
-// full-precision one, reproducing the asymmetric interface rounding of a
-// real distributed run.
+// Numerics: with the FP64 wire, a 2-sharer face dof combines as a + b on one
+// side and b + a on the other (IEEE addition is commutative), so face ghosts
+// stay bitwise consistent across lanes; with > 2 sharers (edges/corners) the
+// sharers accumulate the same partials in different association orders, so
+// ghost copies may differ at the last ulp — the owned copy is canonical, and
+// the engine matches the undecomposed reference apply to FP-association
+// order (~1e-15). With the FP32 wire each side adds the *other* sharers'
+// demoted partials to its own full-precision one, reproducing the asymmetric
+// interface rounding of a real distributed run.
+//
+// Gram reductions (CholGS/RR) combine the per-lane partial Gram blocks with
+// a stride-doubling *tree* allreduce — log2-depth pairwise sums over the
+// lane grid, the association order CommModel::allreduce_time charges for —
+// instead of a flat all-to-lane-0 sum.
 //
 // Threading contract: lanes pin their OpenMP team to one thread (the GEMM
 // kernels' inner `parallel for` would otherwise oversubscribe), so
@@ -50,6 +64,7 @@
 // submitter) unblocks; the first exception is rethrown on the driver thread
 // and the engine resets to a usable state.
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <condition_variable>
@@ -58,6 +73,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/defs.hpp"
@@ -81,6 +97,10 @@ enum class EngineMode { sync, async };
 
 struct EngineOptions {
   int nlanes = 2;
+  // Explicit lane grid {nx, ny, nz}. All-zero (the default) factorizes
+  // `nlanes` with BrickPartition::factorize; {1, 1, N} pins the historical
+  // z-slab decomposition.
+  std::array<int, 3> grid{0, 0, 0};
   EngineMode mode = EngineMode::async;
   Wire wire = Wire::fp64;
   CommModel model{};              // interconnect model for stats / injection
@@ -123,15 +143,15 @@ struct WireStats {
 };
 
 template <class T>
-class SlabEngine {
+class RankEngine {
  public:
-  explicit SlabEngine(const fe::DofHandler& dofh, EngineOptions opt = {});
-  ~SlabEngine();
-  SlabEngine(const SlabEngine&) = delete;
-  SlabEngine& operator=(const SlabEngine&) = delete;
+  explicit RankEngine(const fe::DofHandler& dofh, EngineOptions opt = {});
+  ~RankEngine();
+  RankEngine(const RankEngine&) = delete;
+  RankEngine& operator=(const RankEngine&) = delete;
 
   int nlanes() const { return static_cast<int>(lanes_.size()); }
-  const SlabPartition& partition() const { return part_; }
+  const BrickPartition& partition() const { return part_; }
   EngineMode mode() const { return opt_.mode; }
   /// Switch sync/async between jobs (driver thread only).
   void set_mode(EngineMode m) { opt_.mode = m; }
@@ -140,12 +160,12 @@ class SlabEngine {
   void set_potential(const std::vector<double>& v_eff);
 
   /// Y = op(X) across all lanes (op = scaled Hamiltonian or bare stiffness,
-  /// per EngineOptions). Blocks until every lane finished its slab.
+  /// per EngineOptions). Blocks until every lane finished its brick.
   void apply(const la::Matrix<T>& X, la::Matrix<T>& Y);
 
   /// Run the degree-`degree` scaled-and-shifted Chebyshev recurrence of
   /// ks/chfes.hpp on columns [col0, col0+ncols) of X, in place: each lane
-  /// executes the full recurrence on its slab, exchanging interface partial
+  /// executes the full recurrence on its brick, exchanging interface partial
   /// sums through the mailboxes each step. Lanes drift up to one exchange
   /// apart (double buffering) — the cross-block pipelining the simulator
   /// only modeled.
@@ -153,16 +173,17 @@ class SlabEngine {
                     double a, double b, double a0);
 
   /// Hermitian overlap S = A^H B distributed over lanes: each lane evaluates
-  /// the upper block triangle of its owned-row span (the slab-local partial
-  /// Gram matrix, FP32 off-diagonal when `mixed`), the driver sums the
-  /// partials in lane order — matching the deterministic-order allreduce of
-  /// a real distributed run — and applies the Hermitian completion once.
+  /// the upper block triangle of its owned-row span (the brick-local partial
+  /// Gram matrix, FP32 off-diagonal when `mixed`), the driver combines the
+  /// partials with a stride-doubling tree — the deterministic log2-depth
+  /// allreduce of a real distributed run — and applies the Hermitian
+  /// completion once.
   void overlap(const la::Matrix<T>& A, const la::Matrix<T>& B, la::Matrix<T>& S,
                index_t mp_block, bool mixed);
 
   /// rho[i] += weight * sum_j occ[j] |X(i,j)|^2 / mass[i], distributed over
   /// lanes: each lane accumulates exactly the rows of the global density
-  /// vector its slab owns (disjoint ranges — no reduction needed beyond the
+  /// vector its brick owns (disjoint ranges — no reduction needed beyond the
   /// shared-memory gather), reproducing the serial DC row arithmetic bitwise.
   void accumulate_density(const la::Matrix<T>& X, const std::vector<double>& occ,
                           double weight, std::vector<double>& rho);
@@ -183,6 +204,22 @@ class SlabEngine {
   void debug_fault(int lane);
 
  private:
+  /// Neighbor directions (dx, dy, dz) in {-1, 0, 1}^3 \ {0}, enumerated
+  /// dz-major ascending (dx fastest). This fixed order governs posts AND
+  /// receives in both schedules, which is what keeps sync ≡ async bitwise;
+  /// for a {1, 1, N} grid the two active directions come out lower-then-
+  /// upper, the historical slab order.
+  static constexpr int kDirs = 26;
+  static constexpr std::array<int, 3> dir_of(int di) {
+    const int full = di < 13 ? di : di + 1;  // skip the (0,0,0) center
+    return {full % 3 - 1, (full / 3) % 3 - 1, full / 9 - 1};
+  }
+  static constexpr int opposite(int di) {
+    const int full = di < 13 ? di : di + 1;
+    const int opp = 26 - full;
+    return opp < 13 ? opp : opp - 1;
+  }
+
   enum class JobKind { none, apply, filter, gram, density, pulse, stop };
   struct Job {
     JobKind kind = JobKind::none;
@@ -201,32 +238,50 @@ class SlabEngine {
     double a = 0.0, b = 0.0, a0 = 0.0;
     int fault_lane = -1;
   };
+  /// A maximal row range that is contiguous on both of its sides (copy /
+  /// packet / global indices advance in lockstep). Built cold in engine.cpp;
+  /// the hot path only walks the lists.
+  struct Run {
+    index_t dst = 0;
+    index_t src = 0;
+    index_t len = 0;
+  };
   struct Segment {
     std::unique_ptr<fe::Mesh> mesh;    // sub-mesh must outlive its DofHandler
     std::unique_ptr<fe::DofHandler> dofh;
     std::unique_ptr<fe::CellStiffness<T>> op;
-    index_t row0 = 0;                  // first lane-local row covered
     index_t nrows = 0;                 // rows covered (= dofh->ndofs())
     bool boundary = false;             // touches an interface (computed first)
+    std::vector<Run> runs;             // dst: segment-local row, src: lane-local row
     la::WorkMatrix<T> xs, ys;          // gather / local-result chunks
   };
   struct Neighbor {
     HaloChannel<T>* send = nullptr;
     HaloChannel<T>* recv = nullptr;
     bool active = false;
+    index_t count = 0;                 // shared-region values per column
+    std::vector<Run> runs;             // dst: packet offset, src: lane-local row
   };
   struct Lane {
-    int rank = 0;                      // slab rank (= lane index, trace dim)
-    index_t nloc = 0;                  // local rows = nplanes_loc * plane_size
-    index_t nplanes_loc = 0;
-    index_t own_plane_end = 0;         // local planes [0, own_plane_end) are owned
-    index_t grow0 = 0;                 // first owned *global* row (contiguous range)
-    std::vector<index_t> gplane;       // local plane -> global plane (wrap-aware)
+    int rank = 0;                      // brick rank (= lane index, trace dim)
+    std::array<index_t, 3> m{0, 0, 0};    // local dof extent per axis (closed box)
+    std::array<index_t, 3> own{0, 0, 0};  // owned local extent per axis
+    index_t nloc = 0;                  // local rows = m0 * m1 * m2
+    index_t nown = 0;                  // owned rows = own0 * own1 * own2
+    index_t grow0 = 0;                 // first owned global row
+    bool contiguous_owned = false;     // owned rows globally contiguous ({1,1,N})
+    std::vector<index_t> gmap;         // local dof -> global dof (wrap-aware)
+    std::vector<Run> gather_runs;      // dst: lane-local row, src: global row
+    std::vector<Run> owned_runs;       // dst: global row, src: lane-local row
     std::vector<double> ims, veff, bmask;  // slices of the global nodal fields
-    std::vector<Segment> segments;     // bottom boundary, top boundary, interior
-    Neighbor lower, upper;
+    std::vector<Segment> segments;     // boundary layers first, interior bulk
+    std::array<Neighbor, kDirs> nb;    // fixed dz-major neighbor order
+    // Epilogue row ranges: interior rows touch no shared region (safe before
+    // the async receives); shell rows are epilogued after every receive.
+    std::vector<std::pair<index_t, index_t>> interior_rows, shell_rows;
     la::WorkMatrix<T> sl, xb, yb, zb;  // scaled input + recurrence blocks
-    la::WorkMatrix<T> gram;            // slab-local partial Gram block (N x N)
+    la::WorkMatrix<T> ga, gb;          // gathered owned rows (brick gram)
+    la::WorkMatrix<T> gram;            // brick-local partial Gram block (N x N)
     std::vector<EngineStepStats> steps;
     CommStats comm;
     WireStats wire;
@@ -252,30 +307,33 @@ class SlabEngine {
   void publish_job_metrics(int nsteps);
   void close_lane_channels(Lane& ln);
 
-  std::int64_t wire_bytes(index_t ncols) const {
-    return halo_packet_bytes<T>(static_cast<std::int64_t>(plane_size_) * ncols, opt_.wire);
+  std::int64_t wire_bytes(index_t count, index_t ncols) const {
+    return halo_packet_bytes<T>(static_cast<std::int64_t>(count) * ncols, opt_.wire);
   }
 
   // --- hot data plane (runs on lane threads; allocation-free once warm) --
 
-  /// Pack one interface plane of Yl through the wire and publish it, stamped
-  /// with the modeled transfer time.
-  void post_halo(Lane& ln, Neighbor& nb, const la::Matrix<T>& Yl, index_t row0) {
+  /// Pack this lane's partial over the shared region with neighbor `nb`
+  /// through the wire and publish it, stamped with the modeled transfer time.
+  void post_halo(Lane& ln, Neighbor& nb, const la::Matrix<T>& Yl) {
     if (!nb.active) return;
     Timer tp;
-    const index_t P = plane_size_, B = Yl.cols();
-    const std::int64_t bytes = wire_bytes(B);
+    const index_t B = Yl.cols(), C = nb.count;
+    const std::int64_t bytes = wire_bytes(C, B);
     const int s = nb.send->begin_post();
     if (opt_.wire == Wire::fp32) {
       la::low_precision_t<T>* w = nb.send->buf32(s);
       for (index_t j = 0; j < B; ++j) {
-        const T* y = Yl.col(j) + row0;
-        la::low_precision_t<T>* wj = w + j * P;
-        la::demote(y, wj, P);
-        // Error budget: relative L2 drift of the demoted interface partials.
-        for (index_t i = 0; i < P; ++i) {
-          ln.wire.drift_num += scalar_traits<T>::abs2(y[i] - static_cast<T>(wj[i]));
-          ln.wire.drift_den += scalar_traits<T>::abs2(y[i]);
+        const T* y = Yl.col(j);
+        la::low_precision_t<T>* wj = w + j * C;
+        for (const Run& rn : nb.runs) {
+          la::demote(y + rn.src, wj + rn.dst, rn.len);
+          // Error budget: relative L2 drift of the demoted interface partials.
+          for (index_t i = 0; i < rn.len; ++i) {
+            ln.wire.drift_num +=
+                scalar_traits<T>::abs2(y[rn.src + i] - static_cast<T>(wj[rn.dst + i]));
+            ln.wire.drift_den += scalar_traits<T>::abs2(y[rn.src + i]);
+          }
         }
       }
       ln.wire.fp32_bytes += bytes;
@@ -284,21 +342,27 @@ class SlabEngine {
       la::bf16_t* w = nb.send->bufbf(s);
       const index_t u = la::bf16_units<T>;
       for (index_t j = 0; j < B; ++j) {
-        const T* y = Yl.col(j) + row0;
-        la::bf16_t* wj = w + j * P * u;
-        la::demote_bf16(y, wj, P);
-        for (index_t i = 0; i < P; ++i) {
-          const T rt = la::bf16_load<T>(wj + i * u);
-          ln.wire.bf16_drift_num += scalar_traits<T>::abs2(y[i] - rt);
-          ln.wire.bf16_drift_den += scalar_traits<T>::abs2(y[i]);
+        const T* y = Yl.col(j);
+        la::bf16_t* wj = w + j * C * u;
+        for (const Run& rn : nb.runs) {
+          la::demote_bf16(y + rn.src, wj + rn.dst * u, rn.len);
+          for (index_t i = 0; i < rn.len; ++i) {
+            const T rt = la::bf16_load<T>(wj + (rn.dst + i) * u);
+            ln.wire.bf16_drift_num += scalar_traits<T>::abs2(y[rn.src + i] - rt);
+            ln.wire.bf16_drift_den += scalar_traits<T>::abs2(y[rn.src + i]);
+          }
         }
       }
       ln.wire.bf16_bytes += bytes;
       ln.wire.bf16_messages += 1;
     } else {
       T* w = nb.send->buf64(s);
-      for (index_t j = 0; j < B; ++j)
-        std::copy(Yl.col(j) + row0, Yl.col(j) + row0 + P, w + j * P);
+      for (index_t j = 0; j < B; ++j) {
+        const T* y = Yl.col(j);
+        T* wj = w + j * C;
+        for (const Run& rn : nb.runs)
+          std::copy(y + rn.src, y + rn.src + rn.len, wj + rn.dst);
+      }
       ln.wire.fp64_bytes += bytes;
       ln.wire.fp64_messages += 1;
     }
@@ -313,48 +377,53 @@ class SlabEngine {
     ln.comm.pack_seconds += tp.seconds();
   }
 
-  /// Wait for the neighbor's interface partial and accumulate it into the
-  /// shared plane of Yl. Returns the exposed wait (block + residual wire
-  /// time); unpack cost goes to pack_seconds.
-  double recv_halo(Lane& ln, Neighbor& nb, la::Matrix<T>& Yl, index_t row0) {
+  /// Wait for the neighbor's shared-region partial and accumulate it into
+  /// Yl. Returns the exposed wait (block + residual wire time); unpack cost
+  /// goes to pack_seconds.
+  double recv_halo(Lane& ln, Neighbor& nb, la::Matrix<T>& Yl) {
     if (!nb.active) return 0.0;
     obs::TraceSpan span("CF-halo", "dd", ln.rank);
     Timer tw;
-    const index_t P = plane_size_, B = Yl.cols();
+    const index_t B = Yl.cols(), C = nb.count;
     const int s = nb.recv->wait_packet();
     const double waited = tw.seconds();
     Timer tu;
     if (nb.recv->wire() == Wire::fp32) {
       const la::low_precision_t<T>* w = nb.recv->cbuf32(s);
       for (index_t j = 0; j < B; ++j) {
-        T* y = Yl.col(j) + row0;
-        const la::low_precision_t<T>* wj = w + j * P;
-        for (index_t i = 0; i < P; ++i) y[i] += static_cast<T>(wj[i]);
+        T* y = Yl.col(j);
+        const la::low_precision_t<T>* wj = w + j * C;
+        for (const Run& rn : nb.runs)
+          for (index_t i = 0; i < rn.len; ++i)
+            y[rn.src + i] += static_cast<T>(wj[rn.dst + i]);
       }
-      ln.wire.fp32_bytes += wire_bytes(B);
+      ln.wire.fp32_bytes += wire_bytes(C, B);
       ln.wire.fp32_messages += 1;
     } else if (nb.recv->wire() == Wire::bf16) {
       const la::bf16_t* w = nb.recv->cbufbf(s);
       const index_t u = la::bf16_units<T>;
       for (index_t j = 0; j < B; ++j) {
-        T* y = Yl.col(j) + row0;
-        const la::bf16_t* wj = w + j * P * u;
-        for (index_t i = 0; i < P; ++i) y[i] += la::bf16_load<T>(wj + i * u);
+        T* y = Yl.col(j);
+        const la::bf16_t* wj = w + j * C * u;
+        for (const Run& rn : nb.runs)
+          for (index_t i = 0; i < rn.len; ++i)
+            y[rn.src + i] += la::bf16_load<T>(wj + (rn.dst + i) * u);
       }
-      ln.wire.bf16_bytes += wire_bytes(B);
+      ln.wire.bf16_bytes += wire_bytes(C, B);
       ln.wire.bf16_messages += 1;
     } else {
       const T* w = nb.recv->cbuf64(s);
       for (index_t j = 0; j < B; ++j) {
-        T* y = Yl.col(j) + row0;
-        const T* wj = w + j * P;
-        for (index_t i = 0; i < P; ++i) y[i] += wj[i];
+        T* y = Yl.col(j);
+        const T* wj = w + j * C;
+        for (const Run& rn : nb.runs)
+          for (index_t i = 0; i < rn.len; ++i) y[rn.src + i] += wj[rn.dst + i];
       }
-      ln.wire.fp64_bytes += wire_bytes(B);
+      ln.wire.fp64_bytes += wire_bytes(C, B);
       ln.wire.fp64_messages += 1;
     }
     nb.recv->release(s);
-    const std::int64_t bytes = wire_bytes(B);
+    const std::int64_t bytes = wire_bytes(C, B);
     ln.comm.bytes += bytes;
     ln.comm.messages += 1;
     ln.comm.modeled_seconds += opt_.model.time(bytes, 1);
@@ -367,13 +436,18 @@ class SlabEngine {
     const index_t B = S.cols();
     la::Matrix<T>& Xs = sg.xs.acquire(sg.nrows, B);
     la::Matrix<T>& Ys = sg.ys.acquire_zeroed(sg.nrows, B);
-    for (index_t j = 0; j < B; ++j)
-      std::copy(S.col(j) + sg.row0, S.col(j) + sg.row0 + sg.nrows, Xs.col(j));
+    for (index_t j = 0; j < B; ++j) {
+      const T* s = S.col(j);
+      T* xs = Xs.col(j);
+      for (const Run& rn : sg.runs)
+        std::copy(s + rn.src, s + rn.src + rn.len, xs + rn.dst);
+    }
     sg.op->apply_add(Xs, Ys);
     for (index_t j = 0; j < B; ++j) {
-      T* y = Yl.col(j) + sg.row0;
+      T* y = Yl.col(j);
       const T* ys = Ys.col(j);
-      for (index_t i = 0; i < sg.nrows; ++i) y[i] += ys[i];
+      for (const Run& rn : sg.runs)
+        for (index_t i = 0; i < rn.len; ++i) y[rn.src + i] += ys[rn.dst + i];
     }
   }
 
@@ -420,16 +494,17 @@ class SlabEngine {
   }
 
   /// One fused operator step Yl = scale*(op Xl - c Xl) - zc Zl on the lane's
-  /// slab, including the halo exchange of interface partial sums. Sync and
-  /// async modes execute identical arithmetic; only the receive position
-  /// differs (see the schedule in the header comment).
+  /// brick, including the halo exchange of interface partial sums with every
+  /// active neighbor. Sync and async modes execute identical arithmetic in
+  /// the same fixed neighbor order; only the receive position differs (see
+  /// the schedule in the header comment).
   void lane_fused_step(Lane& ln, const la::Matrix<T>& Xl, la::Matrix<T>& Yl,
                        const la::Matrix<T>* Zl, double c, double scale, double zc,
                        EngineMode mode, int step) {
     Timer tstep;
     double waited = 0.0;
     const double modeled0 = ln.comm.modeled_seconds;
-    const index_t nloc = ln.nloc, B = Xl.cols(), P = plane_size_;
+    const index_t nloc = ln.nloc, B = Xl.cols();
     la::Matrix<T>& S = ln.sl.acquire(nloc, B);
     if (opt_.hamiltonian) {
       const double* ims = ln.ims.data();
@@ -444,61 +519,54 @@ class SlabEngine {
     }
     Yl.zero();
     // Interface-adjacent cell layers first, so the halo partials leave as
-    // early as possible...
+    // early as possible... (interior segments never touch a shared region,
+    // so every posted packet already carries this lane's full partial)
     for (Segment& sg : ln.segments)
       if (sg.boundary) apply_segment(sg, S, Yl);
-    post_halo(ln, ln.lower, Yl, 0);
-    post_halo(ln, ln.upper, Yl, nloc - P);
-    if (mode == EngineMode::sync) {
-      waited += recv_halo(ln, ln.lower, Yl, 0);
-      waited += recv_halo(ln, ln.upper, Yl, nloc - P);
-    }
+    for (Neighbor& nb : ln.nb) post_halo(ln, nb, Yl);
+    if (mode == EngineMode::sync)
+      for (Neighbor& nb : ln.nb) waited += recv_halo(ln, nb, Yl);
     // ...then the interior bulk computes while the wire is busy.
     for (Segment& sg : ln.segments)
       if (!sg.boundary) apply_segment(sg, S, Yl);
-    const index_t lo = ln.lower.active ? P : 0;
-    const index_t hi = ln.upper.active ? nloc - P : nloc;
-    epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, lo, hi);
-    if (mode == EngineMode::async) {
-      waited += recv_halo(ln, ln.lower, Yl, 0);
-      waited += recv_halo(ln, ln.upper, Yl, nloc - P);
-    }
-    if (ln.lower.active) epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, 0, P);
-    if (ln.upper.active) epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, nloc - P, nloc);
+    for (const auto& [r0, r1] : ln.interior_rows)
+      epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, r0, r1);
+    if (mode == EngineMode::async)
+      for (Neighbor& nb : ln.nb) waited += recv_halo(ln, nb, Yl);
+    for (const auto& [r0, r1] : ln.shell_rows)
+      epilogue_rows(ln, Xl, Yl, Zl, c, scale, zc, r0, r1);
     EngineStepStats& st = ln.steps[static_cast<std::size_t>(step)];
     st.wait = waited;
     st.compute = tstep.seconds() - waited;
     st.modeled = ln.comm.modeled_seconds - modeled0;
   }
 
-  /// Copy the lane's local planes (owned + ghost) of columns
+  /// Copy the lane's local rows (owned + ghost) of columns
   /// [col0, col0+ncols) out of the global block.
   void gather_block(Lane& ln, const la::Matrix<T>& X, index_t col0, index_t ncols,
                     la::Matrix<T>& Xl) {
-    const index_t P = plane_size_;
     for (index_t j = 0; j < ncols; ++j) {
       const T* src = X.col(col0 + j);
       T* dst = Xl.col(j);
-      for (index_t lp = 0; lp < ln.nplanes_loc; ++lp)
-        std::copy(src + ln.gplane[lp] * P, src + (ln.gplane[lp] + 1) * P, dst + lp * P);
+      for (const Run& rn : ln.gather_runs)
+        std::copy(src + rn.src, src + rn.src + rn.len, dst + rn.dst);
     }
   }
 
-  /// Scatter the lane's owned planes back into the global block (lanes write
-  /// disjoint plane ranges, so concurrent scatters need no synchronization).
+  /// Scatter the lane's owned rows back into the global block (lanes write
+  /// disjoint row sets, so concurrent scatters need no synchronization).
   void scatter_owned(Lane& ln, const la::Matrix<T>& Yl, la::Matrix<T>& Y, index_t col0,
                      index_t ncols) {
-    const index_t P = plane_size_;
     for (index_t j = 0; j < ncols; ++j) {
       const T* src = Yl.col(j);
       T* dst = Y.col(col0 + j);
-      for (index_t lp = 0; lp < ln.own_plane_end; ++lp)
-        std::copy(src + lp * P, src + (lp + 1) * P, dst + ln.gplane[lp] * P);
+      for (const Run& rn : ln.owned_runs)
+        std::copy(src + rn.src, src + rn.src + rn.len, dst + rn.dst);
     }
   }
 
   /// The full Chebyshev recurrence of ks::ChebyshevFilteredSolver::filter()
-  /// on the lane's slab: three ping-pong blocks rotated by pointer, the
+  /// on the lane's brick: three ping-pong blocks rotated by pointer, the
   /// shift-scale-subtract update fused into each step's epilogue.
   void lane_filter(Lane& ln, la::Matrix<T>& X, index_t col0, index_t ncols, int degree,
                    double a, double b, double a0, EngineMode mode) {
@@ -524,23 +592,43 @@ class SlabEngine {
     scatter_owned(ln, *Yb, X, col0, ncols);
   }
 
-  /// Slab-local partial Gram block: the upper block triangle of
+  /// Brick-local partial Gram block: the upper block triangle of
   /// A_r^H B_r over this lane's owned rows, written into the lane's
-  /// persistent gram buffer. The inputs are spans over the *global* blocks
-  /// (owned rows are globally contiguous), so no gather copy is needed; the
-  /// FP32 off-diagonal policy matches the undecomposed overlap. The modeled
-  /// interconnect cost of the subsequent partial-sum allreduce is accounted
-  /// per lane (stats only — the actual reduction is the driver's
-  /// deterministic in-order sum in shared memory).
+  /// persistent gram buffer. On a {1, 1, N} grid the owned rows are globally
+  /// contiguous and the inputs are spans over the *global* blocks (no gather
+  /// copy — the historical slab fast path, bitwise preserved); a true brick
+  /// gathers its owned rows into lane-local panels first. The FP32
+  /// off-diagonal policy matches the undecomposed overlap. The modeled
+  /// interconnect cost of the subsequent log2-depth tree allreduce is
+  /// accounted per lane (stats only — the actual reduction is the driver's
+  /// deterministic stride-doubling sum in shared memory).
   void lane_gram(Lane& ln, const Job& job) {
     obs::TraceSpan span("Gram-lane", "dd", ln.rank);
     Timer tstep;
     const index_t N = job.X->cols();
-    const index_t nrows = ln.own_plane_end * plane_size_;
     la::Matrix<T>& S = ln.gram.acquire_zeroed(N, N);
-    la::overlap_hermitian_partial(la::cspan(*job.X).rows_range(ln.grow0, nrows),
-                                  la::cspan(*job.B2).rows_range(ln.grow0, nrows), S,
-                                  job.mp_block, job.mixed);
+    if (ln.contiguous_owned) {
+      la::overlap_hermitian_partial(la::cspan(*job.X).rows_range(ln.grow0, ln.nown),
+                                    la::cspan(*job.B2).rows_range(ln.grow0, ln.nown), S,
+                                    job.mp_block, job.mixed);
+    } else {
+      la::Matrix<T>& GA = ln.ga.acquire(ln.nown, N);
+      la::Matrix<T>& GB = ln.gb.acquire(ln.nown, N);
+      for (index_t j = 0; j < N; ++j) {
+        const T* a = job.X->col(j);
+        const T* b2 = job.B2->col(j);
+        T* ga = GA.col(j);
+        T* gb = GB.col(j);
+        index_t p = 0;
+        for (const Run& rn : ln.owned_runs) {
+          std::copy(a + rn.dst, a + rn.dst + rn.len, ga + p);
+          std::copy(b2 + rn.dst, b2 + rn.dst + rn.len, gb + p);
+          p += rn.len;
+        }
+      }
+      la::overlap_hermitian_partial(la::cspan(GA), la::cspan(GB), S, job.mp_block,
+                                    job.mixed);
+    }
     // Allreduce payload: with the mixed policy the diagonal blocks travel in
     // full precision and the off-diagonal triangle in FP32, mirroring the
     // paper's mixed-precision CholGS/RR communication.
@@ -573,26 +661,26 @@ class SlabEngine {
     st.modeled = opt_.model.allreduce_time(bytes, static_cast<int>(lanes_.size()));
   }
 
-  /// Slab-local density accumulation: rho[g] += weight * sum_j occ_j
-  /// |X(g,j)|^2 / mass[g] over this lane's owned (disjoint, globally
-  /// contiguous) rows — per-row arithmetic identical to the serial DC loop,
-  /// so the threaded density is bitwise equal given the same subspace. The
-  /// halo-reduced quadrature sums (density normalization / residual norms)
-  /// stay driver-side: they read the fully assembled rho.
+  /// Brick-local density accumulation: rho[g] += weight * sum_j occ_j
+  /// |X(g,j)|^2 / mass[g] over this lane's owned (disjoint) rows — per-row
+  /// arithmetic identical to the serial DC loop, so the threaded density is
+  /// bitwise equal given the same subspace. The halo-reduced quadrature sums
+  /// (density normalization / residual norms) stay driver-side: they read
+  /// the fully assembled rho.
   void lane_density(Lane& ln, const Job& job) {
     obs::TraceSpan span("DC-lane", "dd", ln.rank);
     Timer tstep;
-    const index_t nrows = ln.own_plane_end * plane_size_;
-    const la::ConstSpan2D<T> X = la::cspan(*job.X).rows_range(ln.grow0, nrows);
+    const la::ConstSpan2D<T> X = la::cspan(*job.X);
     const std::vector<double>& f = *job.occ;
-    const double* mass = dofh_->mass().data() + ln.grow0;
-    double* rho = job.rho->data() + ln.grow0;
-    for (index_t i = 0; i < nrows; ++i) {
-      double s = 0.0;
-      for (index_t j = 0; j < X.cols; ++j)
-        if (f[j] > 1e-12) s += f[j] * scalar_traits<T>::abs2(X(i, j));
-      rho[i] += job.weight * s / mass[i];
-    }
+    const double* mass = dofh_->mass().data();
+    double* rho = job.rho->data();
+    for (const Run& rn : ln.owned_runs)
+      for (index_t i = rn.dst; i < rn.dst + rn.len; ++i) {
+        double s = 0.0;
+        for (index_t j = 0; j < X.cols; ++j)
+          if (f[j] > 1e-12) s += f[j] * scalar_traits<T>::abs2(X(i, j));
+        rho[i] += job.weight * s / mass[i];
+      }
     EngineStepStats& st = ln.steps[0];
     st.wait = 0.0;
     st.compute = tstep.seconds();
@@ -601,8 +689,7 @@ class SlabEngine {
 
   const fe::DofHandler* dofh_;
   EngineOptions opt_;
-  SlabPartition part_;
-  index_t plane_size_ = 0;
+  BrickPartition part_;
   std::vector<std::unique_ptr<HaloChannel<T>>> channels_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<EngineStepStats> step_stats_;
@@ -629,7 +716,12 @@ class SlabEngine {
   std::exception_ptr first_error_;
 };
 
-extern template class SlabEngine<double>;
-extern template class SlabEngine<complex_t>;
+extern template class RankEngine<double>;
+extern template class RankEngine<complex_t>;
+
+/// Historical name: the slab engine is the {1, 1, N} special case of the
+/// brick rank engine. Existing call sites keep compiling unchanged.
+template <class T>
+using SlabEngine = RankEngine<T>;
 
 }  // namespace dftfe::dd

@@ -1,7 +1,16 @@
 #pragma once
 
-// Domain decomposition of the structured FE dof grid into z-slabs, one per
-// rank. Two execution paths share this bookkeeping:
+// Domain decomposition of the structured FE dof grid, one sub-domain per
+// rank. Two decompositions share this file:
+//
+//  * SlabPartition — 1D z-slabs, the bookkeeping of the *modeled* path
+//    (exchange.hpp + pipeline.hpp) and the historical engine partition;
+//  * BrickPartition — cell-aligned 3D bricks on an nx x ny x nz lane grid,
+//    what the threaded rank engine (engine.hpp) runs on. A 1 x 1 x N grid
+//    degenerates to exactly the slab cell splits, so the slab engine is the
+//    special case, not a separate code path.
+//
+// Two execution paths share this bookkeeping:
 //
 //  * the *modeled* path (exchange.hpp + pipeline.hpp): a single thread moves
 //    interface planes through staging buffers — preserving the exact
@@ -19,6 +28,7 @@
 // Because dofs are numbered x-fastest, each z-plane is a contiguous index
 // range, which is what makes slab interfaces cheap to pack.
 
+#include <array>
 #include <vector>
 
 #include "base/defs.hpp"
@@ -69,6 +79,82 @@ class SlabPartition {
   index_t plane_size_ = 0;
   index_t nplanes_ = 0;
   bool cell_aligned_ = false;
+};
+
+/// One rank's cell-aligned brick: the half-open cell range it owns on each
+/// axis. Its dof box is closed — the brick's sub-mesh carries nc*degree + 1
+/// dof layers per axis; the upper closing layer is a ghost whenever an upper
+/// neighbor exists (that neighbor owns it), mirroring the slab convention.
+struct Brick {
+  std::array<index_t, 3> c_begin{0, 0, 0};
+  std::array<index_t, 3> c_end{0, 0, 0};
+};
+
+/// Cell-aligned 3D brick partition on an nx x ny x nz lane grid. Ranks are
+/// numbered x-fastest over the grid (r = gx + nx*(gy + ny*gz)); cells split
+/// evenly per axis with the same `nc*r/n` arithmetic as the cell-aligned
+/// slab factory, so a {1, 1, N} grid reproduces SlabPartition::cell_aligned
+/// exactly. The surface-minimizing `factorize` picks the grid for a given
+/// total lane count (what DFTFE_NLANES=<total> resolves through).
+class BrickPartition {
+ public:
+  /// Partition onto the given lane grid; each axis is clamped to its cell
+  /// count (like slab rank clamping), so the effective grid may be smaller.
+  static BrickPartition cell_aligned(const fe::DofHandler& dofh, std::array<int, 3> grid);
+
+  /// Choose the lane grid for `nlanes` total lanes: among all grids with
+  /// n_a <= ncells_a and the largest achievable product <= nlanes, pick the
+  /// one with the smallest total interface surface (summed shared-face cell
+  /// area, periodic wraps included), breaking ties toward z- then y-major
+  /// splits so small counts reproduce the historical slab layouts
+  /// ({1,1,2} for 2 lanes on a cube, {1,2,2} for 4, {2,2,2} for 8).
+  static std::array<int, 3> factorize(const fe::DofHandler& dofh, int nlanes);
+
+  int nranks() const { return static_cast<int>(bricks_.size()); }
+  const std::array<int, 3>& grid() const { return grid_; }
+  const Brick& brick(int r) const { return bricks_[static_cast<std::size_t>(r)]; }
+
+  std::array<int, 3> coords(int r) const {
+    return {r % grid_[0], (r / grid_[0]) % grid_[1], r / (grid_[0] * grid_[1])};
+  }
+  int rank_of(int gx, int gy, int gz) const {
+    return gx + grid_[0] * (gy + grid_[1] * gz);
+  }
+
+  /// Lane-grid neighbor of rank r in direction (dx, dy, dz) in {-1, 0, 1}^3,
+  /// or -1 when the step leaves a non-periodic boundary. A periodic axis with
+  /// a single brick wraps to the brick itself (self-exchange, exactly like
+  /// the slab engine's single-rank periodic wrap interface).
+  int neighbor(int r, int dx, int dy, int dz) const {
+    const std::array<int, 3> c = coords(r);
+    const int d[3] = {dx, dy, dz};
+    std::array<int, 3> n{};
+    for (int a = 0; a < 3; ++a) {
+      n[a] = c[a] + d[a];
+      if (n[a] < 0 || n[a] >= grid_[a]) {
+        if (!periodic_[a]) return -1;
+        n[a] = (n[a] + grid_[a]) % grid_[a];
+      }
+    }
+    return rank_of(n[0], n[1], n[2]);
+  }
+
+  index_t ndofs() const { return ndofs_; }
+  index_t naxis(int d) const { return naxis_[d]; }
+  index_t ncells(int d) const { return ncells_[d]; }
+  bool periodic(int d) const { return periodic_[d]; }
+  int degree() const { return degree_; }
+
+ private:
+  BrickPartition() = default;
+
+  std::array<int, 3> grid_{1, 1, 1};
+  std::vector<Brick> bricks_;
+  std::array<index_t, 3> naxis_{0, 0, 0};
+  std::array<index_t, 3> ncells_{0, 0, 0};
+  std::array<bool, 3> periodic_{false, false, false};
+  index_t ndofs_ = 0;
+  int degree_ = 1;
 };
 
 }  // namespace dftfe::dd

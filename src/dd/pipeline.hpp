@@ -50,4 +50,26 @@ inline double simulate_overlap(const std::vector<BlockTiming>& blocks) {
   return std::max(compute_end, comm_end);
 }
 
+/// Modeled wall time of a flat all-to-root reduction: ranks-1 sequential
+/// messages of `message_time` each (latency + bytes/bandwidth, e.g.
+/// CommModel::time(bytes, 1)). The reduction schedule the rank engine's gram
+/// combine used before the tree allreduce — kept as the comparison baseline
+/// for benches and the scaling docs.
+inline double allreduce_flat_time(double message_time, int ranks) {
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(ranks - 1) * message_time;
+}
+
+/// Modeled wall time of the stride-doubling tree allreduce the rank engine
+/// runs on its gram partials: ceil(log2(ranks)) rounds of concurrent
+/// pairwise combines, each costing one `message_time`. Matches the
+/// association order of RankEngine::overlap's reduction and the depth
+/// CommModel::allreduce_time charges.
+inline double allreduce_tree_time(double message_time, int ranks) {
+  if (ranks <= 1) return 0.0;
+  int rounds = 0;
+  for (int span = 1; span < ranks; span *= 2) ++rounds;
+  return static_cast<double>(rounds) * message_time;
+}
+
 }  // namespace dftfe::dd

@@ -240,7 +240,7 @@ RunReport build_run_report(const std::string& label, double wall_s, const TraceR
   }
 
   // Communication ledger: the engine publishes per-job deltas under the
-  // comm.* vocabulary (see dd::SlabEngine::publish_job_metrics).
+  // comm.* vocabulary (see dd::RankEngine::publish_job_metrics).
   r.comm.fp64.bytes = lookup(snap.counters, "comm.wire.fp64.bytes");
   r.comm.fp64.messages = lookup(snap.counters, "comm.wire.fp64.messages");
   r.comm.fp32.bytes = lookup(snap.counters, "comm.wire.fp32.bytes");

@@ -114,6 +114,134 @@ TEST(SlabPartitionCellAligned, RanksClampToCellLayers) {
   EXPECT_EQ(part.slab(2).z_end, part.nplanes());
 }
 
+TEST(BrickPartition, BricksTileCellGridDisjointly) {
+  for (const bool periodic : {false, true}) {
+    const auto mesh = fe::make_uniform_mesh(4.0, 4, periodic);
+    const fe::DofHandler dofh(mesh, 3);
+    for (const std::array<int, 3> grid : {std::array<int, 3>{2, 2, 1},
+                                          std::array<int, 3>{2, 1, 2},
+                                          std::array<int, 3>{2, 2, 2},
+                                          std::array<int, 3>{4, 1, 1},
+                                          std::array<int, 3>{1, 3, 2}}) {
+      const auto part = BrickPartition::cell_aligned(dofh, grid);
+      ASSERT_EQ(part.nranks(), grid[0] * grid[1] * grid[2]);
+      EXPECT_EQ(part.grid(), grid);
+      // Per axis, the bricks of each grid line tile [0, ncells) in order,
+      // cell-aligned by construction (ranges are in cells, not dof planes).
+      for (int r = 0; r < part.nranks(); ++r) {
+        const auto c = part.coords(r);
+        EXPECT_EQ(part.rank_of(c[0], c[1], c[2]), r);
+        const Brick& b = part.brick(r);
+        for (int a = 0; a < 3; ++a) {
+          EXPECT_GT(b.c_end[a], b.c_begin[a]);
+          // Neighbors along axis a share the boundary exactly.
+          if (c[a] + 1 < grid[a]) {
+            auto nc = c;
+            ++nc[a];
+            const Brick& nb = part.brick(part.rank_of(nc[0], nc[1], nc[2]));
+            EXPECT_EQ(b.c_end[a], nb.c_begin[a]);
+          } else {
+            EXPECT_EQ(b.c_end[a], part.ncells(a));
+          }
+          if (c[a] == 0) {
+            EXPECT_EQ(b.c_begin[a], 0);
+          }
+        }
+      }
+      // Total cell volume of the bricks equals the mesh volume (disjoint
+      // per-axis ranges + the tiling above make this a partition).
+      index_t vol = 0;
+      for (int r = 0; r < part.nranks(); ++r) {
+        const Brick& b = part.brick(r);
+        vol += (b.c_end[0] - b.c_begin[0]) * (b.c_end[1] - b.c_begin[1]) *
+               (b.c_end[2] - b.c_begin[2]);
+      }
+      EXPECT_EQ(vol, part.ncells(0) * part.ncells(1) * part.ncells(2));
+    }
+  }
+}
+
+TEST(BrickPartition, DegenerateZGridMatchesCellAlignedSlabs) {
+  const auto mesh = fe::make_uniform_mesh(4.0, 5, false);
+  const fe::DofHandler dofh(mesh, 3);
+  for (const int n : {1, 2, 3, 5}) {
+    const auto slab = SlabPartition::cell_aligned(dofh, n);
+    const auto brick = BrickPartition::cell_aligned(dofh, {1, 1, n});
+    ASSERT_EQ(brick.nranks(), slab.nranks());
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(brick.brick(r).c_begin[2], slab.slab(r).c_begin);
+      EXPECT_EQ(brick.brick(r).c_end[2], slab.slab(r).c_end);
+      EXPECT_EQ(brick.brick(r).c_begin[0], 0);
+      EXPECT_EQ(brick.brick(r).c_end[0], mesh.ncells(0));
+    }
+  }
+}
+
+TEST(BrickPartition, GridClampsPerAxisToCellCount) {
+  const auto mesh = fe::make_uniform_mesh(4.0, 3, false);  // 3 cells per axis
+  const fe::DofHandler dofh(mesh, 3);
+  const auto part = BrickPartition::cell_aligned(dofh, {8, 2, 1});
+  EXPECT_EQ(part.grid()[0], 3);  // clamped: at most one lane per cell
+  EXPECT_EQ(part.grid()[1], 2);
+  EXPECT_EQ(part.nranks(), 6);
+}
+
+TEST(BrickPartition, FactorizeMinimizesSurfaceOnCube) {
+  const auto mesh = fe::make_uniform_mesh(4.0, 4, false);
+  const fe::DofHandler dofh(mesh, 3);
+  // Small counts reproduce the historical slab/pencil layouts; 8 goes full
+  // 3D. Ties break toward z-major so existing slab configs stay stable.
+  EXPECT_EQ(BrickPartition::factorize(dofh, 1), (std::array<int, 3>{1, 1, 1}));
+  EXPECT_EQ(BrickPartition::factorize(dofh, 2), (std::array<int, 3>{1, 1, 2}));
+  EXPECT_EQ(BrickPartition::factorize(dofh, 3), (std::array<int, 3>{1, 1, 3}));
+  EXPECT_EQ(BrickPartition::factorize(dofh, 4), (std::array<int, 3>{1, 2, 2}));
+  EXPECT_EQ(BrickPartition::factorize(dofh, 8), (std::array<int, 3>{2, 2, 2}));
+}
+
+TEST(BrickPartition, FactorizePrefersLongAxisOnElongatedBox) {
+  // 4 lanes on a box with many z cells and few x/y cells: cutting z four
+  // times moves less surface than any 2x2 pencil.
+  const fe::Mesh mesh(fe::make_uniform_axis(2.0, 2), fe::make_uniform_axis(2.0, 2),
+                      fe::make_uniform_axis(16.0, 16));
+  const fe::DofHandler dofh(mesh, 2);
+  EXPECT_EQ(BrickPartition::factorize(dofh, 4), (std::array<int, 3>{1, 1, 4}));
+}
+
+TEST(BrickPartition, NeighborWrapsOnlyPeriodicAxes) {
+  const auto mesh = fe::make_uniform_mesh(4.0, 4, false);
+  const fe::DofHandler dofh(mesh, 3);
+  const auto part = BrickPartition::cell_aligned(dofh, {2, 2, 2});
+  // Corner rank 0 = (0,0,0): negative steps leave the non-periodic box.
+  EXPECT_EQ(part.neighbor(0, -1, 0, 0), -1);
+  EXPECT_EQ(part.neighbor(0, 0, -1, 0), -1);
+  EXPECT_EQ(part.neighbor(0, -1, -1, -1), -1);
+  EXPECT_EQ(part.neighbor(0, 1, 0, 0), 1);
+  EXPECT_EQ(part.neighbor(0, 1, 1, 1), 7);
+
+  const auto pmesh = fe::make_uniform_mesh(4.0, 4, true);
+  const fe::DofHandler pdofh(pmesh, 3);
+  const auto ppart = BrickPartition::cell_aligned(pdofh, {2, 2, 2});
+  EXPECT_EQ(ppart.neighbor(0, -1, 0, 0), 1);     // wraps in x
+  EXPECT_EQ(ppart.neighbor(0, -1, -1, -1), 7);   // wraps on all three
+  // A periodic axis with a single brick wraps to itself (self-exchange).
+  const auto single = BrickPartition::cell_aligned(pdofh, {1, 1, 2});
+  EXPECT_EQ(single.neighbor(0, 1, 0, 0), 0);
+  EXPECT_EQ(single.neighbor(0, 0, 0, -1), 1);
+}
+
+TEST(Pipeline, TreeAllreduceBeatsFlatBeyondTwoRanks) {
+  const double mt = 1.0e-3;
+  EXPECT_DOUBLE_EQ(allreduce_flat_time(mt, 1), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_tree_time(mt, 1), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_flat_time(mt, 2), allreduce_tree_time(mt, 2));
+  EXPECT_DOUBLE_EQ(allreduce_flat_time(mt, 8), 7.0 * mt);
+  EXPECT_DOUBLE_EQ(allreduce_tree_time(mt, 8), 3.0 * mt);
+  EXPECT_DOUBLE_EQ(allreduce_tree_time(mt, 5), 3.0 * mt);  // ceil(log2(5))
+  EXPECT_DOUBLE_EQ(allreduce_tree_time(mt, 3), allreduce_flat_time(mt, 3));  // tie
+  for (int r = 4; r <= 64; ++r)
+    EXPECT_LT(allreduce_tree_time(mt, r), allreduce_flat_time(mt, r));
+}
+
 TEST(BoundaryExchange, Fp64WireIsLossless) {
   const auto mesh = test_mesh(false);
   fe::DofHandler dofh(mesh, 3);

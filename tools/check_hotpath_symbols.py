@@ -95,19 +95,19 @@ WHITELIST = [
      "std::function thunk for the backend apply hooks; allocation happens "
      "at hook installation, not invocation"),
     # -- threaded rank engine --------------------------------------------
-    (r"dftfe::dd::SlabEngine<.*>::(build_lanes|start_lanes|ensure_wire_capacity|"
+    (r"dftfe::dd::RankEngine<.*>::(build_lanes|start_lanes|ensure_wire_capacity|"
      r"ensure_step_storage|collect_step_stats|publish_job_metrics|submit|"
      r"set_potential|debug_fault)", {"alloc", "throw"},
      "engine cold control plane: construction, sizing, job submission, "
      "metrics publication (driver thread, between jobs)"),
-    (r"dftfe::dd::SlabEngine<.*>::(apply|overlap|accumulate_density|filter_block|"
+    (r"dftfe::dd::RankEngine<.*>::(apply|overlap|accumulate_density|filter_block|"
      r"run_job)\(", {"alloc", "throw"},
      "driver-side job entry points: precondition throws plus failure "
      "propagation (rethrow of a lane's job error); at most once per job"),
-    (r"dftfe::dd::SlabEngine<.*>::(post_halo|recv_halo)", {"throw"},
+    (r"dftfe::dd::RankEngine<.*>::(post_halo|recv_halo)", {"throw"},
      "drift-budget hard-fail and poison propagation — the very protocol "
      "paths tools/model_check explores; throws at most once per failed job"),
-    (r"dftfe::dd::SlabEngine<.*>::(apply_segment|lane_gram)", {"alloc"},
+    (r"dftfe::dd::RankEngine<.*>::(apply_segment|lane_gram|lane_filter)", {"alloc"},
      "per-lane workspace lease acquire inlined at -O3; amortized to zero "
      "after lane warmup"),
 ]

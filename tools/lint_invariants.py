@@ -80,12 +80,15 @@ HOT_PATH_FILES = [
     "src/la/iterative.hpp",
     "src/ks/hamiltonian.hpp",
     "src/ks/chfes.hpp",
-    # Threaded rank engine: everything a lane touches after startup (the
-    # per-step filter/apply path and the mailbox transport) must be
-    # allocation-free; cold sizing lives in dd/engine.cpp, which is
-    # deliberately not listed here.
+    # Threaded rank engine (RankEngine over the brick partition): everything
+    # a lane touches after startup (the per-step filter/apply path, the
+    # per-neighbor run-list copies, and the mailbox transport) must be
+    # allocation-free; cold sizing and run-list construction live in
+    # dd/engine.cpp, which is deliberately not listed here. The partition's
+    # inline neighbor/coords lookups ride along.
     "src/dd/engine.hpp",
     "src/dd/mailbox.hpp",
+    "src/dd/partition.hpp",
     # Execution backends: the inline stage methods (apply / filter_block /
     # overlap / accumulate_density) run once per recurrence step or SCF
     # stage; construction and factories live in dd/backend.cpp (cold).
@@ -120,8 +123,9 @@ TRACE_VOCAB = {
     # registered higher-level phases
     "SCF", "SCF-iter", "ChFES-cycle", "Relax-step",
     "invDFT-forward", "invDFT-adjoint", "Simulation-run",
-    # threaded rank engine (dd/engine.hpp) lane-side spans
-    "CF-lane", "CF-halo", "Engine-apply", "Gram-lane", "DC-lane",
+    # threaded rank engine (dd/engine.hpp) lane-side spans, plus the
+    # driver-side tree allreduce of the brick gram partials (dd/engine.cpp)
+    "CF-lane", "CF-halo", "Engine-apply", "Gram-lane", "Gram-tree", "DC-lane",
 }
 
 TRACE_SPAN_RE = re.compile(r"\bTraceSpan\b[^(;]*\(\s*\"([^\"]*)\"")

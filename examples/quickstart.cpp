@@ -7,7 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <exception>
 
 #include "base/table.hpp"
 #include "core/simulation.hpp"
@@ -36,53 +36,20 @@ int main() {
   // so the quickstart exercises the paper's mixed-precision path end to end.
   opt.scf.mp_block = 4;
 
-  // Execution-backend selection from the environment, so the same binary
-  // serves the CI engine-scf-equivalence and brick-scf-equivalence legs:
-  // DFTFE_BACKEND=threaded runs the whole solver stack on brick-rank lanes.
-  // DFTFE_NLANES accepts either a total lane count ("8", factorized into a
-  // surface-minimizing brick grid) or an explicit grid ("2,2,2");
-  // anything else keeps the serial backend. The remaining knobs
-  // drive the RunReport attribution demo (tests/report_diff_e2e.py):
-  // DFTFE_WIRE selects the halo wire format (fp64 | fp32 | bf16; the
-  // threaded default is fp32), DFTFE_ENGINE_MODE=sync exposes
-  // the wire time, DFTFE_INJECT_WIRE_DELAY=1 sleeps out the modeled wire
-  // time on receive, DFTFE_WIRE_BW overrides the modeled bandwidth (bytes/s)
-  // and DFTFE_REPORT overrides the RunReport output path.
-  if (const char* be = std::getenv("DFTFE_BACKEND"); be != nullptr &&
-                                                     std::strcmp(be, "threaded") == 0) {
-    opt.backend.kind = dd::BackendKind::threaded;
-    if (const char* nl = std::getenv("DFTFE_NLANES")) {
-      int nx = 0, ny = 0, nz = 0;
-      if (std::sscanf(nl, "%d,%d,%d", &nx, &ny, &nz) == 3 && nx > 0 && ny > 0 && nz > 0) {
-        opt.backend.grid = {nx, ny, nz};
-        opt.backend.nlanes = nx * ny * nz;
-      } else {
-        opt.backend.nlanes = std::atoi(nl);
-      }
-    }
+  // Execution-backend selection from the environment via the shared parser
+  // (dd::BackendOptions::from_env), so the same binary serves the CI
+  // engine-scf-equivalence and brick-scf-equivalence legs:
+  // DFTFE_BACKEND=threaded runs the whole solver stack on brick-rank lanes,
+  // DFTFE_NLANES takes a total lane count ("8") or an explicit grid
+  // ("2,2,2"), and DFTFE_WIRE / DFTFE_ENGINE_MODE / DFTFE_INJECT_WIRE_DELAY
+  // / DFTFE_WIRE_BW drive the RunReport attribution demo
+  // (tests/report_diff_e2e.py). DFTFE_REPORT overrides the output path.
+  try {
+    opt.backend = dd::BackendOptions::from_env(opt.backend);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 2;
   }
-  if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr) {
-    if (std::strcmp(w, "fp64") == 0) {
-      opt.backend.wire = dd::Wire::fp64;
-    } else if (std::strcmp(w, "fp32") == 0) {
-      opt.backend.wire = dd::Wire::fp32;
-    } else if (std::strcmp(w, "bf16") == 0) {
-      opt.backend.wire = dd::Wire::bf16;
-    } else {
-      std::fprintf(stderr,
-                   "quickstart: unknown DFTFE_WIRE value '%s' "
-                   "(accepted: fp64 | fp32 | bf16)\n", w);
-      return 2;
-    }
-  }
-  if (const char* m = std::getenv("DFTFE_ENGINE_MODE");
-      m != nullptr && std::strcmp(m, "sync") == 0)
-    opt.backend.mode = dd::EngineMode::sync;
-  if (const char* d = std::getenv("DFTFE_INJECT_WIRE_DELAY");
-      d != nullptr && std::atoi(d) != 0)
-    opt.backend.inject_wire_delay = true;
-  if (const char* bw = std::getenv("DFTFE_WIRE_BW"); bw != nullptr && std::atof(bw) > 0.0)
-    opt.backend.model.bandwidth_bytes_per_s = std::atof(bw);
   opt.report_path = "quickstart_report.json";
   if (const char* rp = std::getenv("DFTFE_REPORT")) opt.report_path = rp;
 

@@ -2,7 +2,13 @@
 
 namespace dftfe {
 
+FlopCounter*& FlopCounter::thread_override() {
+  thread_local FlopCounter* override_counter = nullptr;
+  return override_counter;
+}
+
 FlopCounter& FlopCounter::global() {
+  if (FlopCounter* o = thread_override(); o != nullptr) return *o;
   static FlopCounter c;
   return c;
 }

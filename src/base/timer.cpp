@@ -2,7 +2,13 @@
 
 namespace dftfe {
 
+ProfileRegistry*& ProfileRegistry::thread_override() {
+  thread_local ProfileRegistry* override_registry = nullptr;
+  return override_registry;
+}
+
 ProfileRegistry& ProfileRegistry::global() {
+  if (ProfileRegistry* o = thread_override(); o != nullptr) return *o;
   static ProfileRegistry reg;
   return reg;
 }

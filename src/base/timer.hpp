@@ -66,8 +66,13 @@ class ProfileRegistry {
     entries_.clear();
   }
 
-  /// Process-wide registry used by the solver steps.
+  /// The registry global() resolves to on the calling thread: the process-
+  /// wide registry used by the solver steps, unless a per-job registry has
+  /// been installed through thread_override() (obs::JobScope).
   static ProfileRegistry& global();
+  /// Thread-local override slot backing global(); managed by obs::JobScope
+  /// (obs/scope.hpp — base/ only hosts the slot so dd/ks stay obs-agnostic).
+  static ProfileRegistry*& thread_override();
 
  private:
   mutable std::mutex mu_;

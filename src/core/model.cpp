@@ -1,0 +1,134 @@
+#include "core/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "xc/lda.hpp"
+#include "xc/pbe.hpp"
+
+namespace dftfe::core {
+
+ml::Mlp train_surrogate_mlxc(int epochs, unsigned seed) {
+  // Train the enhancement network to reproduce a PBE oracle's {v_xc, E_xc}
+  // on a realistic (rho, sigma) sample. This substitutes for 3D QMB
+  // reference data (unavailable here) while exercising the identical MLXC
+  // code path inside the SCF: DNN inference for e_xc, back-propagated input
+  // gradients for v_xc.
+  xc::GgaPbe oracle;
+  std::vector<xc::MlxcSystem> systems(1);
+  auto& sys = systems[0];
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      xc::MlxcSample s;
+      s.rho = 0.004 * std::pow(1.8, i);
+      const double kf = std::cbrt(3.0 * kPi * kPi * s.rho);
+      const double smax = 2.0 * kf * s.rho;  // s ~ O(1) range
+      s.sigma = std::pow(0.35 * j * smax, 2);
+      std::vector<double> exc, vrho, vsigma;
+      oracle.evaluate({s.rho}, {s.sigma}, exc, vrho, vsigma);
+      s.vxc = vrho[0];
+      s.weight = 1.0 / 72.0;
+      sys.exc_total += s.weight * s.rho * exc[0];
+      sys.samples.push_back(s);
+    }
+  }
+  ml::Mlp net = xc::MlxcFunctional::make_paper_network(2, 24, seed);
+  xc::train_mlxc(net, systems, epochs, 3e-3);
+  return net;
+}
+
+std::shared_ptr<xc::XCFunctional> make_functional(const std::string& name,
+                                                  const std::optional<std::string>& weights) {
+  if (name == "LDA") return std::make_shared<xc::LdaPW92>();
+  if (name == "PBE") return std::make_shared<xc::GgaPbe>();
+  if (name == "none") return nullptr;
+  if (name == "MLXC") {
+    if (weights) return std::make_shared<xc::MlxcFunctional>(ml::Mlp::load(*weights));
+    static ml::Mlp cached = train_surrogate_mlxc();
+    return std::make_shared<xc::MlxcFunctional>(cached);
+  }
+  throw std::invalid_argument("make_functional: unknown functional " + name);
+}
+
+namespace {
+
+// Smeared nuclei and total valence electron count for a structure under the
+// model's z-overrides. Shared by the constructor and nuclei_for().
+std::pair<std::vector<ks::GaussianCharge>, double> build_nuclei(const atoms::Structure& st,
+                                                                const ModelOptions& opt) {
+  std::vector<ks::GaussianCharge> nuclei;
+  double nelectrons = 0.0;
+  for (const auto& a : st.atoms) {
+    const auto& info = atoms::species_info(a.species);
+    double z = info.z_valence;
+    if (auto it = opt.z_override.find(a.species); it != opt.z_override.end()) z = it->second;
+    nuclei.push_back({a.pos, z, info.rc});
+    nelectrons += z;
+  }
+  return {std::move(nuclei), nelectrons};
+}
+
+}  // namespace
+
+SharedModel::SharedModel(atoms::Structure st, ModelOptions opt)
+    : structure_(std::move(st)), opt_(std::move(opt)) {
+  // Box: periodic axes keep the supercell length; isolated axes get vacuum
+  // padding with the atoms re-centered.
+  std::array<double, 3> lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  for (const auto& a : structure_.atoms)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], a.pos[d]);
+      hi[d] = std::max(hi[d], a.pos[d]);
+    }
+  std::array<double, 3> box{};
+  std::array<double, 3> shift{};
+  for (int d = 0; d < 3; ++d) {
+    if (structure_.periodic[d]) {
+      box[d] = structure_.box[d];
+      shift[d] = 0.0;
+    } else {
+      box[d] = (hi[d] - lo[d]) + 2.0 * opt_.vacuum;
+      shift[d] = opt_.vacuum - lo[d];
+    }
+  }
+  structure_.translate(shift);
+  structure_.box = box;
+
+  auto axis = [&](int d) {
+    const index_t nc = std::max<index_t>(2, std::llround(box[d] / opt_.mesh_size));
+    return fe::make_uniform_axis(box[d], nc, structure_.periodic[d]);
+  };
+  mesh_ = std::make_unique<fe::Mesh>(axis(0), axis(1), axis(2));
+  dofh_ = std::make_unique<fe::DofHandler>(*mesh_, opt_.fe_degree);
+
+  auto [nuclei, nelectrons] = build_nuclei(structure_, opt_);
+  nuclei_ = std::move(nuclei);
+  nelectrons_ = nelectrons;
+
+  xcf_ = make_functional(opt_.functional, opt_.mlxc_weights);
+  built_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+std::pair<std::vector<ks::GaussianCharge>, double> SharedModel::nuclei_for(
+    const atoms::Structure& st) const {
+  for (int d = 0; d < 3; ++d) {
+    if (st.periodic[d] != structure_.periodic[d])
+      throw std::invalid_argument("SharedModel::nuclei_for: periodicity mismatch on axis " +
+                                  std::to_string(d));
+    if (std::abs(st.box[d] - structure_.box[d]) > 1e-12 * std::max(1.0, structure_.box[d]))
+      throw std::invalid_argument("SharedModel::nuclei_for: box mismatch on axis " +
+                                  std::to_string(d) + " (family siblings must share the box)");
+  }
+  return build_nuclei(st, opt_);
+}
+
+std::atomic<std::int64_t>& SharedModel::built_counter() {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
+
+std::int64_t SharedModel::built_count() {
+  return built_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace dftfe::core

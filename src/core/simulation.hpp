@@ -1,6 +1,6 @@
 #pragma once
 
-// dftfe::core::Simulation — the top-level public API of the library
+// dftfe::core::Simulation — the top-level single-run API of the library
 // (DFT-FE-MLXC): atomic structure in, converged ground state out.
 //
 //   atoms::Structure st = atoms::make_hcp(...);
@@ -9,21 +9,22 @@
 //   core::Simulation sim(std::move(st), opt);
 //   auto result = sim.run();
 //
-// The driver builds the FE mesh from the structure (periodic supercell or
-// isolated box with vacuum), instantiates the smeared-nucleus
-// electrostatics, selects the XC functional (LDA / PBE / MLXC), dispatches
-// between the real Gamma-point and complex k-point solver paths, and runs
-// the Chebyshev-filtered SCF.
+// Simulation is a convenience facade over the split that the multi-tenant
+// layers build on: an immutable core::SharedModel (mesh, DofHandler,
+// smeared nuclei, XC functional — core/model.hpp) plus a mutable
+// core::JobState (solver, SCF progress, execution backend — core/job.hpp).
+// Constructing a Simulation builds a private model and one job; run()
+// dispatches between the real Gamma-point and complex k-point solver paths
+// and runs the Chebyshev-filtered SCF. To run many related solves against
+// one model, use SharedModel + JobState directly or the svc::JobService.
 
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <variant>
 
-#include "atoms/structure.hpp"
-#include "ks/scf.hpp"
-#include "xc/mlxc.hpp"
+#include "core/job.hpp"
+#include "core/model.hpp"
 
 namespace dftfe::core {
 
@@ -43,60 +44,57 @@ struct SimulationOptions {
   /// scf.backend directly only to diverge from this top-level choice.
   dd::BackendOptions backend;
   /// When non-empty, run() writes the RunReport flight-recorder artifact
-  /// (schema dftfe.runreport.v1, see obs/report.hpp) to this path.
+  /// (schema dftfe.runreport.v1, see obs/report.hpp) to this path. A path
+  /// ending in '/' writes "<dir>simulation.report.json".
   std::string report_path;
   ks::ScfOptions scf;
+
+  /// The structure-family half of these options (mesh/functional knobs).
+  ModelOptions model() const {
+    return {fe_degree, mesh_size, vacuum, functional, mlxc_weights, z_override};
+  }
+  /// The per-job half (k-points, backend, report, SCF loop knobs).
+  JobOptions job() const {
+    JobOptions j;
+    j.name = "simulation";
+    j.kpoints = kpoints;
+    j.backend = backend;
+    j.report_path = report_path;
+    j.scf = scf;
+    return j;
+  }
 };
-
-struct SimulationResult {
-  ks::ScfResult scf;
-  double energy = 0.0;
-  double energy_per_atom = 0.0;
-  index_t ndofs = 0;
-  index_t natoms = 0;
-  double n_electrons = 0.0;
-};
-
-/// Build an XC functional by name. "MLXC" without a weights file returns the
-/// bundled surrogate network (trained against a PBE oracle — the 3D stand-in
-/// for QMB training data; the genuine invDFT-trained pipeline is exercised
-/// in 1D, see examples/invdft_pipeline).
-std::shared_ptr<xc::XCFunctional> make_functional(const std::string& name,
-                                                  const std::optional<std::string>& weights = {});
-
-/// Train the bundled MLXC surrogate network against a PBE oracle on a
-/// sampled (rho, sigma) range. Deterministic; used by make_functional("MLXC").
-ml::Mlp train_surrogate_mlxc(int epochs = 3000, unsigned seed = 5);
 
 class Simulation {
  public:
-  Simulation(atoms::Structure st, SimulationOptions opt = {});
+  Simulation(atoms::Structure st, SimulationOptions opt = {})
+      : model_(std::make_shared<const SharedModel>(std::move(st), opt.model())),
+        job_(std::make_unique<JobState>(model_, opt.job())) {}
 
-  SimulationResult run();
+  SimulationResult run() { return job_->run(); }
 
-  const atoms::Structure& structure() const { return structure_; }
-  const fe::DofHandler& dofs() const { return *dofh_; }
-  const fe::Mesh& mesh() const { return *mesh_; }
-  double n_electrons() const { return nelectrons_; }
+  const atoms::Structure& structure() const { return model_->structure(); }
+  const fe::DofHandler& dofs() const { return model_->dofs(); }
+  const fe::Mesh& mesh() const { return model_->mesh(); }
+  double n_electrons() const { return model_->n_electrons(); }
+
+  /// The immutable half; share with further JobStates or an svc::JobService
+  /// to run family siblings against the same mesh and functional.
+  const std::shared_ptr<const SharedModel>& model() const { return model_; }
+  /// The mutable half (SCF state, checkpoint capture).
+  JobState& job() { return *job_; }
 
   /// Hellmann-Feynman forces on the atoms (after run()).
-  std::vector<std::array<double, 3>> forces();
+  std::vector<std::array<double, 3>> forces() { return job_->forces(); }
 
   /// Gamma-point solver access (after run()); throws on k-point runs.
-  ks::KohnShamDFT<double>& gamma_solver();
+  ks::KohnShamDFT<double>& gamma_solver() { return job_->gamma_solver(); }
   /// k-point solver access (after run()); throws on Gamma runs.
-  ks::KohnShamDFT<complex_t>& kpoint_solver();
+  ks::KohnShamDFT<complex_t>& kpoint_solver() { return job_->kpoint_solver(); }
 
  private:
-  atoms::Structure structure_;
-  SimulationOptions opt_;
-  std::unique_ptr<fe::Mesh> mesh_;
-  std::unique_ptr<fe::DofHandler> dofh_;
-  std::vector<ks::GaussianCharge> nuclei_;
-  double nelectrons_ = 0.0;
-  std::variant<std::monostate, std::unique_ptr<ks::KohnShamDFT<double>>,
-               std::unique_ptr<ks::KohnShamDFT<complex_t>>>
-      solver_;
+  std::shared_ptr<const SharedModel> model_;
+  std::unique_ptr<JobState> job_;
 };
 
 }  // namespace dftfe::core

@@ -1,6 +1,47 @@
 #include "dd/backend.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 namespace dftfe::dd {
+
+BackendOptions BackendOptions::from_env() { return from_env(BackendOptions{}); }
+
+BackendOptions BackendOptions::from_env(BackendOptions base) {
+  if (const char* be = std::getenv("DFTFE_BACKEND");
+      be != nullptr && std::strcmp(be, "threaded") == 0) {
+    base.kind = BackendKind::threaded;
+  }
+  if (const char* nl = std::getenv("DFTFE_NLANES"); nl != nullptr) {
+    int nx = 0, ny = 0, nz = 0;
+    if (std::sscanf(nl, "%d,%d,%d", &nx, &ny, &nz) == 3 && nx > 0 && ny > 0 && nz > 0) {
+      base.grid = {nx, ny, nz};
+      base.nlanes = nx * ny * nz;
+    } else if (const int n = std::atoi(nl); n > 0) {
+      base.grid = {0, 0, 0};
+      base.nlanes = n;
+    }
+  }
+  if (const char* w = std::getenv("DFTFE_WIRE"); w != nullptr) {
+    if (std::strcmp(w, "fp64") == 0) base.wire = Wire::fp64;
+    else if (std::strcmp(w, "fp32") == 0) base.wire = Wire::fp32;
+    else if (std::strcmp(w, "bf16") == 0) base.wire = Wire::bf16;
+    else
+      throw std::invalid_argument("DFTFE_WIRE: unknown value '" + std::string(w) +
+                                  "' (accepted: fp64 | fp32 | bf16)");
+  }
+  if (const char* m = std::getenv("DFTFE_ENGINE_MODE");
+      m != nullptr && std::strcmp(m, "sync") == 0)
+    base.mode = EngineMode::sync;
+  if (const char* d = std::getenv("DFTFE_INJECT_WIRE_DELAY");
+      d != nullptr && std::atoi(d) != 0)
+    base.inject_wire_delay = true;
+  if (const char* bw = std::getenv("DFTFE_WIRE_BW"); bw != nullptr && std::atof(bw) > 0.0)
+    base.model.bandwidth_bytes_per_s = std::atof(bw);
+  return base;
+}
 
 template <class T>
 SerialBackend<T>::SerialBackend(const fe::DofHandler& dofh, FusedApplyFn<T> apply_fused,

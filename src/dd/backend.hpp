@@ -63,6 +63,21 @@ struct BackendOptions {
   CommModel model{};               // interconnect model for stats / injection
   bool inject_wire_delay = false;  // sleep out the modeled wire time on receive
   double drift_budget = 1e-2;      // per-job demotion error budget (see EngineOptions)
+
+  /// Overlay the DFTFE_* execution environment onto `base` and return it —
+  /// the one parser every driver binary (quickstart, sweep service, benches)
+  /// shares, so CI legs configure any of them identically:
+  ///   DFTFE_BACKEND=threaded        threaded brick lanes (else keep base.kind)
+  ///   DFTFE_NLANES=8 | 2,2,2        total lane count or explicit brick grid
+  ///   DFTFE_WIRE=fp64|fp32|bf16     halo wire format
+  ///   DFTFE_ENGINE_MODE=sync        synchronous halo protocol
+  ///   DFTFE_INJECT_WIRE_DELAY=1     sleep out modeled wire time on receive
+  ///   DFTFE_WIRE_BW=<bytes/s>       modeled interconnect bandwidth
+  /// Unset variables leave the corresponding field of `base` untouched.
+  /// Throws std::invalid_argument on an unrecognized DFTFE_WIRE value.
+  static BackendOptions from_env(BackendOptions base);
+  /// Overlay the environment onto default-constructed options.
+  static BackendOptions from_env();
 };
 
 /// The fused operator hook: Y = scale * (op X - c X) - zc Z, with the

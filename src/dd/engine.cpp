@@ -13,6 +13,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/scope.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -267,8 +268,17 @@ void RankEngine<T>::build_lanes() {
 
 template <class T>
 void RankEngine<T>::start_lanes() {
+  // Lanes adopt the spawning thread's observability scope: under the svc
+  // layer each job runs inside its own obs::JobScope, and the lane-side
+  // spans/metrics (CF-lane, comm.lane.*) must land in that job's registries
+  // rather than the process-wide ones. With no scope installed the token is
+  // all-null and adoption is a no-op.
+  const obs::JobScope::Token scope = obs::JobScope::current();
   for (int r = 0; r < static_cast<int>(lanes_.size()); ++r)
-    lanes_[r]->th = std::thread([this, r] { lane_main(r); });
+    lanes_[r]->th = std::thread([this, r, scope] {
+      obs::JobScope::Adopt adopt(scope);
+      lane_main(r);
+    });
 }
 
 template <class T>

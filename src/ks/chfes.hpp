@@ -121,6 +121,28 @@ class ChebyshevFilteredSolver {
     have_bounds_ = true;
   }
 
+  /// Reinstall a checkpointed subspace (column-major raw storage; complex
+  /// interleaved re/im) and its Ritz values. Marks the bounds as seeded, so
+  /// the next update_bounds() tightens the filter interval from the restored
+  /// Ritz values exactly as the uninterrupted run would have — the resume
+  /// path of KohnShamDFT::load_state().
+  void restore_subspace(const std::vector<double>& coeffs, std::vector<double> evals) {
+    const std::size_t f = scalar_traits<T>::is_complex ? 2 : 1;
+    if (coeffs.size() != f * static_cast<std::size_t>(X_.size()))
+      throw std::invalid_argument("ChFES: restored subspace size mismatch");
+    T* d = X_.data();
+    for (index_t i = 0; i < X_.size(); ++i) {
+      if constexpr (scalar_traits<T>::is_complex) {
+        d[i] = T(coeffs[2 * static_cast<std::size_t>(i)],
+                 coeffs[2 * static_cast<std::size_t>(i) + 1]);
+      } else {
+        d[i] = T(coeffs[static_cast<std::size_t>(i)]);
+      }
+    }
+    evals_ = std::move(evals);
+    have_bounds_ = !evals_.empty();
+  }
+
   /// Route every solver stage (CF recurrence, CholGS/RR overlaps, operator
   /// applies, Lanczos bounds) through an execution backend. A threaded
   /// backend must wrap the same Hamiltonian discretization (mesh, degree,

@@ -350,13 +350,40 @@ ScfResult KohnShamDFT<T>::solve() {
   obs::MetricsRegistry::global().gauge_set("scf.backend.nlanes",
                                            static_cast<double>(backends_[0]->nlanes()));
 
-  init_density();
-
-  // Anderson mixing history.
-  std::vector<std::vector<double>> hist_rho, hist_res;
+  // Fresh start or checkpoint resume. A resumed solve reinstalls the mixed
+  // density, Poisson warm start, Anderson history, and per-k subspaces /
+  // Ritz values captured at an iteration boundary, then continues the loop
+  // at the saved iteration count — every statement downstream sees the same
+  // inputs the uninterrupted run would have, so the arithmetic path (and the
+  // converged energy) is identical.
+  int start_iter = 0;
+  if (pending_resume_.has_value()) {
+    ScfState st = std::move(*pending_resume_);
+    pending_resume_.reset();
+    if (st.ndofs != n || st.nstates != nstates_ ||
+        st.kpoints.size() != kpts_.size())
+      throw std::runtime_error("KohnShamDFT: checkpoint state does not match this problem");
+    rho_ = std::move(st.rho);
+    phi_ = std::move(st.phi);
+    hist_rho_ = std::move(st.hist_rho);
+    hist_res_ = std::move(st.hist_res);
+    residual_history_ = std::move(st.residual_history);
+    for (std::size_t ik = 0; ik < kpts_.size(); ++ik)
+      solvers_[ik]->restore_subspace(st.kpoints[ik].coeffs,
+                                     std::move(st.kpoints[ik].eigenvalues));
+    start_iter = st.iterations;
+    iterations_done_ = st.iterations;
+  } else {
+    init_density();
+    hist_rho_.clear();
+    hist_res_.clear();
+    residual_history_.clear();
+    iterations_done_ = 0;
+  }
   ScfResult result;
+  result.iterations = start_iter;
 
-  for (int iter = 0; iter < opt_.max_iterations; ++iter) {
+  for (int iter = start_iter; iter < opt_.max_iterations; ++iter) {
     obs::TraceSpan iter_span("SCF-iter", "scf");
     update_effective_potential();
     const std::vector<double> v_eff_used = v_eff_;
@@ -377,8 +404,9 @@ ScfResult KohnShamDFT<T>::solve() {
     }
     const double rnorm = std::sqrt(r2) / nelectrons_;
     // lint: allow(hot-path-alloc): per-iteration diagnostic, O(1) per SCF step
-    result.residual_history.push_back(rnorm);
+    residual_history_.push_back(rnorm);
     result.iterations = iter + 1;
+    iterations_done_ = iter + 1;
     metrics.series_append("scf.residual", rnorm);
     metrics.series_append("scf.fermi_level", mu);
     metrics.series_append("scf.cheb_degree", static_cast<double>(opt_.cheb_degree));
@@ -398,20 +426,21 @@ ScfResult KohnShamDFT<T>::solve() {
       result.converged = true;
       result.energy = compute_energy(rho_out, v_eff_used, mu);
       rho_ = rho_out;
+      result.residual_history = residual_history_;
       metrics.gauge_set("scf.converged", 1.0);
       return result;
     }
 
     // Anderson mixing on the density.
     // lint: allow(hot-path-alloc): Anderson history ring, bounded by anderson_depth+1
-    hist_rho.push_back(rho_);
+    hist_rho_.push_back(rho_);
     // lint: allow(hot-path-alloc): Anderson history ring, bounded by anderson_depth+1
-    hist_res.push_back(res);
-    if (static_cast<int>(hist_rho.size()) > opt_.anderson_depth + 1) {
-      hist_rho.erase(hist_rho.begin());
-      hist_res.erase(hist_res.begin());
+    hist_res_.push_back(res);
+    if (static_cast<int>(hist_rho_.size()) > opt_.anderson_depth + 1) {
+      hist_rho_.erase(hist_rho_.begin());
+      hist_res_.erase(hist_res_.begin());
     }
-    const int m = static_cast<int>(hist_rho.size()) - 1;
+    const int m = static_cast<int>(hist_rho_.size()) - 1;
     metrics.series_append("scf.anderson_depth", m);
     std::vector<double> rho_next(n);
     if (m >= 1) {
@@ -419,16 +448,16 @@ ScfResult KohnShamDFT<T>::solve() {
       // inner product; small dense normal equations solved by elimination.
       la::MatrixD A(m, m);
       std::vector<double> b(m, 0.0);
-      const auto& rk = hist_res.back();
+      const auto& rk = hist_res_.back();
       for (int p = 0; p < m; ++p) {
         for (int q = 0; q < m; ++q) {
           double s = 0.0;
           for (index_t i = 0; i < n; ++i)
-            s += mass[i] * (rk[i] - hist_res[m - 1 - p][i]) * (rk[i] - hist_res[m - 1 - q][i]);
+            s += mass[i] * (rk[i] - hist_res_[m - 1 - p][i]) * (rk[i] - hist_res_[m - 1 - q][i]);
           A(p, q) = s;
         }
         double s = 0.0;
-        for (index_t i = 0; i < n; ++i) s += mass[i] * rk[i] * (rk[i] - hist_res[m - 1 - p][i]);
+        for (index_t i = 0; i < n; ++i) s += mass[i] * rk[i] * (rk[i] - hist_res_[m - 1 - p][i]);
         b[p] = s;
       }
       for (int p = 0; p < m; ++p) A(p, p) += 1e-12 * (A(p, p) + 1.0);
@@ -451,10 +480,10 @@ ScfResult KohnShamDFT<T>::solve() {
         th[col] /= A(col, col);
       }
       for (index_t i = 0; i < n; ++i) {
-        double rho_bar = hist_rho.back()[i], res_bar = hist_res.back()[i];
+        double rho_bar = hist_rho_.back()[i], res_bar = hist_res_.back()[i];
         for (int p = 0; p < m; ++p) {
-          rho_bar -= th[p] * (hist_rho.back()[i] - hist_rho[m - 1 - p][i]);
-          res_bar -= th[p] * (hist_res.back()[i] - hist_res[m - 1 - p][i]);
+          rho_bar -= th[p] * (hist_rho_.back()[i] - hist_rho_[m - 1 - p][i]);
+          res_bar -= th[p] * (hist_res_.back()[i] - hist_res_[m - 1 - p][i]);
         }
         rho_next[i] = rho_bar + opt_.mixing_alpha * res_bar;
       }
@@ -466,6 +495,10 @@ ScfResult KohnShamDFT<T>::solve() {
     const double q = dofh_->integrate(rho_next);
     for (index_t i = 0; i < n; ++i) rho_next[i] *= nelectrons_ / q;
     rho_ = std::move(rho_next);
+
+    // Iteration boundary: the mixed density, Anderson history, and subspaces
+    // are exactly the inputs of iteration iter+1 — the checkpointable point.
+    if (opt_.on_iteration) opt_.on_iteration(iter + 1);
   }
 
   // Not converged: report the last state faithfully.
@@ -473,7 +506,54 @@ ScfResult KohnShamDFT<T>::solve() {
   update_effective_potential();
   const double mu = find_fermi_level();
   result.energy = compute_energy(rho_, v_eff_, mu);
+  result.residual_history = residual_history_;
   return result;
+}
+
+template <class T>
+ScfState KohnShamDFT<T>::save_state() const {
+  if (solvers_.empty())
+    throw std::runtime_error("KohnShamDFT::save_state: no active solve to capture");
+  ScfState st;
+  st.iterations = iterations_done_;
+  st.complex_scalars = scalar_traits<T>::is_complex;
+  st.ndofs = dofh_->ndofs();
+  st.nstates = nstates_;
+  st.rho = rho_;
+  st.phi = phi_;
+  st.hist_rho = hist_rho_;
+  st.hist_res = hist_res_;
+  st.residual_history = residual_history_;
+  // lint: allow(hot-path-alloc): checkpoint capture, once per on_iteration hook call
+  st.kpoints.resize(kpts_.size());
+  for (std::size_t ik = 0; ik < kpts_.size(); ++ik) {
+    auto& ksub = st.kpoints[ik];
+    ksub.eigenvalues = solvers_[ik]->eigenvalues();
+    const la::Matrix<T>& X = solvers_[ik]->subspace();
+    const T* d = X.data();
+    if constexpr (scalar_traits<T>::is_complex) {
+      // lint: allow(hot-path-alloc): checkpoint capture, once per on_iteration hook call
+      ksub.coeffs.resize(2 * static_cast<std::size_t>(X.size()));
+      for (index_t i = 0; i < X.size(); ++i) {
+        ksub.coeffs[2 * static_cast<std::size_t>(i)] = d[i].real();
+        ksub.coeffs[2 * static_cast<std::size_t>(i) + 1] = d[i].imag();
+      }
+    } else {
+      ksub.coeffs.assign(d, d + X.size());
+    }
+  }
+  return st;
+}
+
+template <class T>
+void KohnShamDFT<T>::load_state(ScfState st) {
+  if (st.complex_scalars != scalar_traits<T>::is_complex)
+    throw std::runtime_error("KohnShamDFT::load_state: scalar type mismatch");
+  if (st.ndofs != dofh_->ndofs())
+    throw std::runtime_error("KohnShamDFT::load_state: dof count mismatch");
+  if (st.iterations < 1 || st.kpoints.empty())
+    throw std::runtime_error("KohnShamDFT::load_state: state captured before any iteration");
+  pending_resume_ = std::move(st);
 }
 
 template <class T>

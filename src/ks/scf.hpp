@@ -14,7 +14,9 @@
 // (multipole Dirichlet) settings; Gaussian self-energies and short-range
 // pair corrections restore point-ion energetics.
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dd/backend.hpp"
@@ -59,6 +61,37 @@ struct ScfOptions {
   // accumulation, Poisson stiffness applies): serial (bitwise-identical to
   // the pre-backend code) or threaded slab-rank lanes.
   dd::BackendOptions backend;
+  // End-of-iteration hook, invoked on the driver thread after iteration
+  // `completed` (1-based) has fully updated the solver state (mixed density,
+  // Anderson history, subspaces). save_state() is valid inside; the svc
+  // layer writes dftfe.checkpoint.v1 artifacts from here. Not called on the
+  // converging iteration (the job finishes instead).
+  std::function<void(int completed)> on_iteration;
+};
+
+/// Serialized mid-SCF solver state for checkpoint/restart, captured at an
+/// iteration boundary by KohnShamDFT::save_state() and re-installed with
+/// load_state(). Scalar-type erased: complex subspaces store interleaved
+/// (re, im) doubles. A resumed solve() replays the exact arithmetic path of
+/// the uninterrupted run — same mixed density, Poisson warm start, Anderson
+/// history, subspace, and Ritz values — so both converge to the identical
+/// energy. The svc layer wraps this in the versioned dftfe.checkpoint.v1
+/// artifact (svc/checkpoint.hpp).
+struct ScfState {
+  int iterations = 0;           // completed SCF iterations
+  bool complex_scalars = false;
+  index_t ndofs = 0;
+  index_t nstates = 0;
+  std::vector<double> rho;      // mixed density entering iteration `iterations`
+  std::vector<double> phi;      // Poisson solution (PCG warm start)
+  std::vector<std::vector<double>> hist_rho;  // Anderson history, oldest first
+  std::vector<std::vector<double>> hist_res;
+  std::vector<double> residual_history;
+  struct KSubspace {
+    std::vector<double> eigenvalues;  // Ritz values of the last RR
+    std::vector<double> coeffs;       // column-major subspace; complex interleaved
+  };
+  std::vector<KSubspace> kpoints;
 };
 
 struct EnergyBreakdown {
@@ -90,6 +123,15 @@ class KohnShamDFT {
   void set_nuclei(const std::vector<GaussianCharge>& nuclei, double n_electrons);
 
   ScfResult solve();
+
+  /// Capture the solver state at an SCF iteration boundary. Valid inside an
+  /// ScfOptions::on_iteration hook or after solve() returned.
+  ScfState save_state() const;
+  /// Install a previously captured state; the next solve() resumes from
+  /// iteration `st.iterations` on the exact arithmetic path the
+  /// uninterrupted run would have taken. Throws if the state's scalar type
+  /// or dof count does not match this solver.
+  void load_state(ScfState st);
 
   const std::vector<double>& density() const { return rho_; }
   const std::vector<double>& effective_potential() const { return v_eff_; }
@@ -149,6 +191,13 @@ class KohnShamDFT {
   bool nuclei_mode_ = false;
   double e_self_ = 0.0, e_pair_corr_ = 0.0;
   std::vector<double> phi_;  // Poisson solution (warm start across SCF)
+
+  // Anderson mixing history and progress, members (not solve() locals) so
+  // save_state() can capture them mid-solve from the on_iteration hook.
+  std::vector<std::vector<double>> hist_rho_, hist_res_;
+  std::vector<double> residual_history_;
+  int iterations_done_ = 0;
+  std::optional<ScfState> pending_resume_;  // consumed by the next solve()
 };
 
 extern template class KohnShamDFT<double>;

@@ -236,12 +236,41 @@ class Workspace {
     free_.clear();
   }
 
+  /// The pool global() resolves to on the calling thread: the process-wide
+  /// pool by default, or a pool installed by ScopedBind (the svc workspace
+  /// arena leases per-job pool bundles to worker threads, so concurrent
+  /// jobs neither contend for one free list nor cross-pollute each other's
+  /// buffer sizes).
   static Workspace& global() {
+    Workspace* b = bound();
+    return b != nullptr ? *b : process();
+  }
+
+  /// The process-wide pool, ignoring any thread-local binding.
+  static Workspace& process() {
     static Workspace ws;
     return ws;
   }
 
+  /// RAII thread-local pool binding: while alive, global() on this thread
+  /// resolves to `ws`. Nests (the previous binding is restored).
+  class ScopedBind {
+   public:
+    explicit ScopedBind(Workspace& ws) : prev_(bound()) { bound() = &ws; }
+    ~ScopedBind() { bound() = prev_; }
+    ScopedBind(const ScopedBind&) = delete;
+    ScopedBind& operator=(const ScopedBind&) = delete;
+
+   private:
+    Workspace* prev_;
+  };
+
  private:
+  static Workspace*& bound() {
+    thread_local Workspace* bound_pool = nullptr;
+    return bound_pool;
+  }
+
   friend class Lease;
   void release(Slot slot) {
     std::lock_guard<std::mutex> lk(mu_);

@@ -2,7 +2,13 @@
 
 namespace dftfe::obs {
 
+MetricsRegistry*& MetricsRegistry::thread_override() {
+  thread_local MetricsRegistry* override_registry = nullptr;
+  return override_registry;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
+  if (MetricsRegistry* o = thread_override(); o != nullptr) return *o;
   static MetricsRegistry reg;
   return reg;
 }

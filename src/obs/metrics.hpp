@@ -158,7 +158,15 @@ class MetricsRegistry {
     histograms_.clear();
   }
 
+  /// The registry global() resolves to on the calling thread: the process-
+  /// wide registry by default, or a per-job registry installed by
+  /// obs::JobScope (obs/scope.hpp) so N concurrent jobs in one process do
+  /// not interleave their scf.* series / gauges in a single map.
   static MetricsRegistry& global();
+  /// Thread-local override slot backing global(). Null (the default) means
+  /// the process-wide registry. Managed by obs::JobScope — install/restore
+  /// through that RAII type, not by writing the slot directly.
+  static MetricsRegistry*& thread_override();
 
  private:
   mutable std::mutex mu_;

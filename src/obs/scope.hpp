@@ -1,0 +1,89 @@
+#pragma once
+
+// Per-job observability scope — the "tenant dimension" of the telemetry
+// stack. The four process-wide registries (MetricsRegistry, TraceRecorder,
+// ProfileRegistry, FlopCounter) are resolved through thread-local override
+// slots; a JobScope owns one private instance of each and installs them on
+// the constructing thread, so everything a job records — scf.* series, span
+// traces, per-step wall times and FLOPs — lands in that job's registries
+// instead of interleaving with other tenants in one process-wide map. The
+// RunReport built inside the scope (obs/report.hpp resolves its registry
+// defaults at call time) is therefore a clean per-job artifact.
+//
+// Threads a job spawns (the dd::RankEngine brick lanes) do not inherit the
+// spawner's thread-locals; the spawning code captures `JobScope::current()`
+// and installs it on the new thread with `JobScope::Adopt`. dd/engine.cpp
+// does this at lane startup, so lane-side spans/metrics follow the job.
+//
+// Lifetime rule: every thread that adopted a scope must terminate (or drop
+// the adoption) before the JobScope is destroyed — in practice, destroy the
+// job's solver (joining its engine lanes) before the scope unwinds. The svc
+// job runner orders its locals accordingly (scope first, job after, so the
+// job — and its lanes — die first).
+
+#include "base/flops.hpp"
+#include "base/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dftfe::obs {
+
+class JobScope {
+ public:
+  /// What a thread's registry lookups currently resolve to. Null entries
+  /// mean the process-wide singletons.
+  struct Token {
+    MetricsRegistry* metrics = nullptr;
+    TraceRecorder* trace = nullptr;
+    ProfileRegistry* profile = nullptr;
+    FlopCounter* flops = nullptr;
+  };
+
+  JobScope() : prev_(current()) {
+    install({&metrics_, &trace_, &profile_, &flops_});
+  }
+  ~JobScope() { install(prev_); }
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  ProfileRegistry& profile() { return profile_; }
+  FlopCounter& flops() { return flops_; }
+
+  /// The calling thread's current resolution, capturable for Adopt on a
+  /// thread about to be spawned.
+  static Token current() {
+    return {MetricsRegistry::thread_override(), TraceRecorder::thread_override(),
+            ProfileRegistry::thread_override(), FlopCounter::thread_override()};
+  }
+
+  /// Install a captured Token on this thread for the lifetime of the Adopt
+  /// (worker/lane threads joining a job's scope).
+  class Adopt {
+   public:
+    explicit Adopt(const Token& tok) : prev_(current()) { install(tok); }
+    ~Adopt() { install(prev_); }
+    Adopt(const Adopt&) = delete;
+    Adopt& operator=(const Adopt&) = delete;
+
+   private:
+    Token prev_;
+  };
+
+ private:
+  static void install(const Token& t) {
+    MetricsRegistry::thread_override() = t.metrics;
+    TraceRecorder::thread_override() = t.trace;
+    ProfileRegistry::thread_override() = t.profile;
+    FlopCounter::thread_override() = t.flops;
+  }
+
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+  ProfileRegistry profile_;
+  FlopCounter flops_;
+  Token prev_;
+};
+
+}  // namespace dftfe::obs

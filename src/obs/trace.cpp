@@ -76,7 +76,13 @@ void TraceRecorder::set_capacity(std::size_t cap) {
   capacity_ = cap;
 }
 
+TraceRecorder*& TraceRecorder::thread_override() {
+  thread_local TraceRecorder* override_recorder = nullptr;
+  return override_recorder;
+}
+
 TraceRecorder& TraceRecorder::global() {
+  if (TraceRecorder* o = thread_override(); o != nullptr) return *o;
   static TraceRecorder rec;
   return rec;
 }

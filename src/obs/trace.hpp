@@ -69,7 +69,12 @@ class TraceRecorder {
   /// Dense id of the calling thread (assigned on first use).
   static std::uint32_t thread_id();
 
+  /// The recorder global() resolves to on the calling thread: process-wide
+  /// by default, or the per-job recorder installed by obs::JobScope so
+  /// concurrent jobs' span streams stay separable.
   static TraceRecorder& global();
+  /// Thread-local override slot backing global(); managed by obs::JobScope.
+  static TraceRecorder*& thread_override();
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,108 @@
+#pragma once
+
+// svc::WorkspaceArena — the global pool of per-job workspace bundles. Each
+// concurrent job leases one Bundle (a Workspace<double> + Workspace<float> +
+// Workspace<complex_t> triple) for its lifetime and binds the three pools
+// thread-locally (la::Workspace::ScopedBind), so tenants neither contend on
+// one free list nor cross-pollute each other's buffer sizes — a job's pool
+// converges to *its* problem's working set and is handed, warm, to the next
+// job of the same shape. Bundles are recycled LIFO; the arena grows only
+// when more jobs run concurrently than ever before (steady-state lease =
+// two mutex ops + three thread-local writes, the hot path the lint gate
+// watches in this file). High-water accounting aggregates the pool-level
+// byte marks into the svc.arena.* gauges.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "base/defs.hpp"
+#include "la/workspace.hpp"
+
+namespace dftfe::svc {
+
+class WorkspaceArena {
+ public:
+  /// One job's workspace pools, one per scalar type the solver stack leases
+  /// scratch in.
+  struct Bundle {
+    la::Workspace<double> d;
+    la::Workspace<float> f;
+    la::Workspace<complex_t> z;
+
+    std::int64_t highwater_bytes() const {
+      return d.highwater_bytes() + f.highwater_bytes() + z.highwater_bytes();
+    }
+  };
+
+  /// RAII lease: acquires a bundle and binds its three pools on the calling
+  /// thread (la::Workspace<T>::global() resolves to them while alive). Not
+  /// movable — the binds are thread-local, so the lease must die on the
+  /// thread that created it.
+  class Lease {
+   public:
+    explicit Lease(WorkspaceArena& arena)
+        : arena_(&arena), bundle_(arena.acquire()) {
+      bind_d_.emplace(bundle_->d);
+      bind_f_.emplace(bundle_->f);
+      bind_z_.emplace(bundle_->z);
+    }
+    ~Lease() {
+      // Unbind before the bundle returns to the free list.
+      bind_z_.reset();
+      bind_f_.reset();
+      bind_d_.reset();
+      arena_->release(std::move(bundle_));
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    Bundle& bundle() { return *bundle_; }
+
+   private:
+    WorkspaceArena* arena_;
+    std::unique_ptr<Bundle> bundle_;
+    std::optional<la::Workspace<double>::ScopedBind> bind_d_;
+    std::optional<la::Workspace<float>::ScopedBind> bind_f_;
+    std::optional<la::Workspace<complex_t>::ScopedBind> bind_z_;
+  };
+
+  /// Bundles ever created (free + leased).
+  std::size_t bundles() const;
+  /// Cumulative lease count.
+  std::int64_t leases() const;
+  /// Peak concurrent leases.
+  std::size_t lease_highwater() const;
+  /// Aggregate pool-level high-water bytes across every bundle ever
+  /// created, including currently leased ones.
+  std::int64_t highwater_bytes() const;
+  /// Publish svc.arena.* gauges into the calling thread's MetricsRegistry.
+  void publish_metrics() const;
+  /// Drop all free bundles (tests / memory pressure); leased bundles are
+  /// untouched and return to the (new) free list when released.
+  void clear();
+
+  /// The process-wide arena the JobService leases from.
+  static WorkspaceArena& global();
+
+ private:
+  friend class Lease;
+  std::unique_ptr<Bundle> acquire();
+  void release(std::unique_ptr<Bundle> b);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Bundle>> free_;
+  // Leased bundles are tracked so highwater_bytes() sees their pools too.
+  std::vector<const Bundle*> leased_;
+  std::size_t created_ = 0;
+  std::int64_t lease_count_ = 0;
+  std::size_t lease_highwater_ = 0;
+  std::int64_t retired_highwater_bytes_ = 0;  // from bundles dropped by clear()
+};
+
+}  // namespace dftfe::svc

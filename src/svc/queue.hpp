@@ -1,0 +1,90 @@
+#pragma once
+
+// svc::BoundedQueue — the MPMC job queue between submitters and the
+// service's worker threads. Fixed-capacity ring allocated once at
+// construction: the scheduler loop pops from here on every dispatch, so the
+// steady state touches the heap zero times (the invariant the lint
+// hot-path gate enforces for this file). Push blocks while full —
+// submission backpressure is the service's admission control — and pop
+// blocks while empty until close() drains the ring.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dftfe::svc {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}  // lint: allow(alloc): ring allocated once at construction
+
+  /// Blocks while the ring is full. Returns false (item dropped) iff the
+  /// queue was closed before space appeared.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(item);
+    ++size_;
+    if (size_ > highwater_) highwater_ = size_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt iff the queue is closed AND
+  /// drained — workers exit their dispatch loop on nullopt.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No further pushes succeed; pops drain the remaining items then return
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+  /// Peak occupancy over the queue's lifetime (svc.queue.highwater gauge).
+  std::size_t highwater() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return highwater_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t highwater_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dftfe::svc

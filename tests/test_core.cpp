@@ -137,6 +137,36 @@ TEST(Relax, DimerRelaxationReducesForces) {
   EXPECT_LT(d, 8.0);
 }
 
+TEST(Relax, SerialAndThreadedBackendsAgree) {
+  // Relaxation is SCF-in-the-loop: any backend divergence compounds through
+  // the geometry updates. Pin the halo wire to fp64 so the threaded brick
+  // lanes reproduce the serial trajectory to the 1e-10 Ha equivalence bar.
+  auto make_dimer = [] {
+    atoms::Structure st;
+    st.atoms = {{atoms::Species::X, {0.0, 0.0, 0.0}}, {atoms::Species::X, {2.8, 0.0, 0.0}}};
+    st.periodic = {false, false, false};
+    return st;
+  };
+  auto opt = fast_options();
+  opt.scf.density_tol = 1e-7;
+  RelaxOptions ropt;
+  ropt.max_steps = 2;
+  ropt.force_tol = 1e-6;  // below reach: both runs take the full 2 steps
+  const auto serial = relax_structure(make_dimer(), opt, ropt);
+  opt.backend.kind = dd::BackendKind::threaded;
+  opt.backend.nlanes = 2;
+  opt.backend.wire = dd::Wire::fp64;
+  const auto threaded = relax_structure(make_dimer(), opt, ropt);
+  EXPECT_EQ(serial.steps, threaded.steps);
+  EXPECT_NEAR(serial.energy, threaded.energy, 1e-10);
+  ASSERT_EQ(serial.energy_history.size(), threaded.energy_history.size());
+  for (std::size_t i = 0; i < serial.energy_history.size(); ++i)
+    EXPECT_NEAR(serial.energy_history[i], threaded.energy_history[i], 1e-10);
+  for (std::size_t a = 0; a < 2; ++a)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_NEAR(serial.structure.atoms[a].pos[d], threaded.structure.atoms[a].pos[d], 1e-10);
+}
+
 TEST(Simulation, GammaAndGammaKpointAgree) {
   // A Gamma-only k-point list must dispatch to the real path and match.
   atoms::Structure st1 = single_atom(), st2 = single_atom();

@@ -24,6 +24,8 @@
 
 #include "base/flops.hpp"
 #include "base/timer.hpp"
+#include "core/job.hpp"
+#include "core/model.hpp"
 #include "dd/backend.hpp"
 #include "dd/engine.hpp"
 #include "dd/exchange.hpp"
@@ -39,6 +41,8 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "svc/arena.hpp"
+#include "svc/service.hpp"
 
 namespace dftfe {
 namespace {
@@ -693,6 +697,48 @@ TEST(RaceFlops, ConcurrentAttributedAccumulation) {
   EXPECT_DOUBLE_EQ(fc.total(), 2.0 * kThreads * kIters);
   EXPECT_LE(fc.step("EP"), fc.total());
   fc.clear();
+}
+
+TEST(RaceService, ConcurrentJobsAgainstSharedModelAndGlobalArena) {
+  // The multi-tenant invariants under TSan: four worker threads run jobs
+  // concurrently against ONE const SharedModel (mesh/DofHandler/functional
+  // aliased read-only across threads) while leasing per-job workspace
+  // bundles from the process-wide arena and scoping their telemetry with
+  // obs::JobScope. Two tenants additionally run the threaded backend, so
+  // engine lanes adopting a job's scope are in the TSan picture too.
+  atoms::Structure parent;
+  parent.atoms = {{atoms::Species::X, {1.0, 1.0, 1.0}}};
+  parent.box = {7.0, 7.0, 7.0};
+  parent.periodic = {true, true, true};
+  core::ModelOptions mopt;
+  mopt.fe_degree = 2;
+  mopt.mesh_size = 3.5;
+  auto model = std::make_shared<const core::SharedModel>(parent, mopt);
+
+  svc::ServiceOptions sopt;
+  sopt.workers = kThreads;
+  sopt.queue_capacity = 2;  // exercise submit backpressure
+  svc::JobService service(model, sopt);
+  constexpr int kJobs = 6;
+  for (int j = 0; j < kJobs; ++j) {
+    core::JobOptions job;
+    job.name = "stress_" + std::to_string(j);
+    atoms::Structure st = parent;
+    st.atoms[0].pos[0] = 1.0 + 0.3 * j;
+    job.structure = std::move(st);
+    job.scf.max_iterations = 2;  // shape over convergence: tiny under TSan
+    job.scf.temperature = 0.01;
+    if (j % 3 == 0) {
+      job.backend.kind = dd::BackendKind::threaded;
+      job.backend.nlanes = 2;
+    }
+    EXPECT_TRUE(service.submit(std::move(job)));
+  }
+  const auto outcomes = service.drain();
+  ASSERT_EQ(outcomes.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok) << o.name << ": " << o.error;
+  // Jobs that ran concurrently leased distinct bundles; all returned.
+  EXPECT_GE(svc::WorkspaceArena::global().leases(), static_cast<std::int64_t>(kJobs));
 }
 
 }  // namespace

@@ -31,13 +31,16 @@ Rules (see DESIGN.md "Correctness & analysis tier"):
                    higher-level phases, so Table-3 style aggregation never
                    silently drops a misspelled step.
 
-  metric-vocab     Every `comm.*` / `mem.*` metric-name string literal in
-                   src/ is either an exact member of the RunReport ledger
-                   vocabulary (obs/report.hpp) or starts with a registered
+  metric-vocab     Every `comm.*` / `mem.*` / `svc.*` / `job.*` metric-name
+                   string literal in src/ is either an exact member of the
+                   RunReport ledger vocabulary (obs/report.hpp) plus the job
+                   service's fleet/arena gauges, or starts with a registered
                    per-lane/per-pool prefix. The comm/memory ledgers of the
                    RunReport are built by parsing these names back out of the
                    MetricsRegistry, so a misspelled publisher would silently
-                   drop its line from every report and report_diff.
+                   drop its line from every report and report_diff; the
+                   svc/job namespaces are closed the same way so fleet
+                   dashboards never chase a typo.
 
   tracing-gate     The DFTFE_ENABLE_TRACING gate is always used as a value
                    test (`#if DFTFE_ENABLE_TRACING`), never `#ifdef`/`#ifndef`
@@ -96,6 +99,12 @@ HOT_PATH_FILES = [
     # SCF driver: the per-iteration loop body (potential update, solver
     # cycles, density build, mixing) — per-solve setup needs waivers.
     "src/ks/scf.cpp",
+    # Job service hot path: the bounded queue sits on every submit/pop and
+    # the arena lease on every job start — both must stay allocation-free in
+    # steady state (the ring is sized once at construction; bundle creation
+    # is the waived cold growth path in svc/arena.cpp).
+    "src/svc/queue.hpp",
+    "src/svc/arena.hpp",
 ]
 
 ALLOC_PATTERNS = [
@@ -141,10 +150,18 @@ METRIC_VOCAB = {
     "comm.wire.drift_budget_used",
     "mem.workspace.allocations", "mem.workspace.bytes_allocated",
     "mem.workspace.checkouts",
+    # Job service fleet counters/gauges (src/svc) and per-job gauges
+    # (core/job.cpp): closed namespaces like the ledgers above.
+    "svc.jobs.submitted", "svc.jobs.completed", "svc.jobs.failed",
+    "svc.jobs.resumed", "svc.workers",
+    "svc.queue.capacity", "svc.queue.highwater",
+    "svc.arena.bundles", "svc.arena.leases",
+    "svc.arena.lease_highwater", "svc.arena.highwater_bytes",
+    "job.energy", "job.resume.iteration", "job.checkpoint.writes",
 }
 METRIC_PREFIXES = ("comm.lane", "mem.lane", "mem.pool.")
 
-METRIC_NAME_RE = re.compile(r"\"((?:comm|mem)\.[^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"\"((?:comm|mem|svc|job)\.[^\"]*)\"")
 
 WAIVER_RE = re.compile(
     r"//\s*lint:\s*allow\(([a-z-]+)"
